@@ -1,0 +1,48 @@
+(* Shared plumbing for the experiment harness: scaled workloads, timing,
+   and paper-style table printing. *)
+
+module Collection = Hopi_collection.Collection
+module Dblp = Hopi_workload.Dblp_gen
+module Inex = Hopi_workload.Inex_gen
+module Timer = Hopi_util.Timer
+
+(* Scale 1.0 targets a laptop-friendly run (~minutes); the paper's own
+   collections are ~15x (DBLP) / ~300x (INEX elements) larger. *)
+type scale = { dblp_docs : int; inex_docs : int; small_docs : int }
+
+let scale_of factor =
+  let f n = max 5 (int_of_float (float_of_int n *. factor)) in
+  { dblp_docs = f 500; inex_docs = f 60; small_docs = f 120 }
+
+let dblp_collection n = Dblp.generate (Dblp.default ~n_docs:n)
+
+let inex_collection n = Inex.generate (Inex.default ~n_docs:n)
+
+let section title =
+  Fmt.pr "@.============================================================@.";
+  Fmt.pr "%s@." title;
+  Fmt.pr "============================================================@."
+
+let note fmt = Fmt.pr ("  " ^^ fmt ^^ "@.")
+
+let seconds s = Fmt.str "%.1fs" s
+
+(* simple fixed-width table printer *)
+let print_table header rows =
+  let widths =
+    List.fold_left
+      (fun acc row -> List.map2 (fun w cell -> max w (String.length cell)) acc row)
+      (List.map String.length header)
+      rows
+  in
+  let print_row row =
+    Fmt.pr "  ";
+    List.iter2 (fun w cell -> Fmt.pr "%-*s  " w cell) widths row;
+    Fmt.pr "@."
+  in
+  print_row header;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows
+
+let total_closure c =
+  Hopi_graph.Closure.count_connections (Collection.element_graph c)

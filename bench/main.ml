@@ -1,0 +1,69 @@
+(* Experiment harness: regenerates every table and measured result of the
+   paper's evaluation (Section 7) on scaled synthetic collections.
+
+     dune exec bench/main.exe                 # everything, default scale
+     dune exec bench/main.exe -- table2       # a single experiment
+     dune exec bench/main.exe -- --scale 0.5 table1 maintenance
+
+   See EXPERIMENTS.md for the paper-vs-measured record. *)
+
+let experiments : (string * string * (Bench_common.scale -> unit)) list =
+  [
+    ("selfcheck", "verify all build configurations are exact", Experiments.selfcheck);
+    ("table1", "Table 1: collection features", Experiments.table1);
+    ("closure", "7.2: closure size, unpartitioned baseline", Experiments.closure_experiment);
+    ("table2", "Table 2: build time/size per configuration", Experiments.table2);
+    ("preselect", "4.2: center preselection", Experiments.preselect);
+    ("weights", "4.3: edge-weight schemes", Experiments.weights);
+    ("distance", "5: distance-aware cover", Experiments.distance);
+    ("maintenance", "7.3: incremental maintenance", Experiments.maintenance);
+    ("inex", "7.2: INEX cover", Experiments.inex_experiment);
+    ("flix", "extension: FliX hybrid vs full HOPI", Experiments.flix);
+    ("psg-strategies", "ablation: PSG H-bar strategies", Experiments.psg_strategies);
+    ("lazy-queue", "ablation: lazy priority queue", Experiments.lazy_queue);
+    ("parallel", "4.3: concurrent partition covers", Experiments.parallel);
+    ("micro", "query-latency micro-benchmarks", Micro.run);
+  ]
+
+let run_experiments names scale_factor =
+  let scale = Bench_common.scale_of scale_factor in
+  let todo =
+    match names with
+    | [] -> experiments
+    | names ->
+      List.filter_map
+        (fun n ->
+          match List.find_opt (fun (n', _, _) -> n' = n) experiments with
+          | Some e -> Some e
+          | None ->
+            Fmt.epr "unknown experiment %S; known: %s@." n
+              (String.concat ", " (List.map (fun (n, _, _) -> n) experiments));
+            exit 2)
+        names
+  in
+  let t0 = Hopi_util.Timer.start () in
+  List.iter (fun (_, _, f) -> f scale) todo;
+  Fmt.pr "@.total bench time: %a@." Hopi_util.Timer.pp_duration
+    (Hopi_util.Timer.elapsed_s t0)
+
+open Cmdliner
+
+let names_arg =
+  let doc =
+    "Experiments to run (default: all). Known: "
+    ^ String.concat ", " (List.map (fun (n, _, _) -> n) experiments)
+    ^ "."
+  in
+  Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
+
+let scale_arg =
+  let doc = "Workload scale factor (1.0 = default laptop scale)." in
+  Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"FACTOR" ~doc)
+
+let cmd =
+  let doc = "Regenerate the HOPI paper's evaluation tables" in
+  Cmd.v
+    (Cmd.info "hopi-bench" ~doc)
+    Term.(const (fun names scale -> run_experiments names scale) $ names_arg $ scale_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,94 @@
+(* Query-latency micro-benchmarks (bechamel): reachability through the
+   in-memory cover, through the paged LIN/LOUT store, and by naive BFS —
+   the per-query speedup that motivates a connection index in the first
+   place — plus distance lookups and descendant enumeration. *)
+
+open Bechamel
+open Toolkit
+module Collection = Hopi_collection.Collection
+module Cover = Hopi_twohop.Cover
+module Traversal = Hopi_graph.Traversal
+module Pager = Hopi_storage.Pager
+module Cover_store = Hopi_storage.Cover_store
+module Splitmix = Hopi_util.Splitmix
+open Hopi_core
+
+let make_tests (s : Bench_common.scale) =
+  let c = Bench_common.dblp_collection (max 5 (s.Bench_common.small_docs / 2)) in
+  let idx = Hopi.create c in
+  let g = Collection.element_graph c in
+  let store = Hopi.to_store idx (Pager.create ~pool_pages:256 Pager.Memory) in
+  let cstore =
+    let cs = Hopi_storage.Closure_store.create (Pager.create ~pool_pages:4096 Pager.Memory) in
+    Hopi_storage.Closure_store.load cs (Hopi_graph.Closure.compute g);
+    cs
+  in
+  let dstore =
+    let st = Cover_store.create (Pager.create ~pool_pages:256 Pager.Memory) in
+    Cover_store.load_dist_cover st (Hopi.distance_index idx);
+    st
+  in
+  let rng = Splitmix.create 12345 in
+  let els =
+    let acc = ref [] in
+    Collection.iter_elements c (fun e -> acc := e :: !acc);
+    Array.of_list !acc
+  in
+  let n_pairs = 1024 in
+  let pairs =
+    Array.init n_pairs (fun _ -> (Splitmix.pick rng els, Splitmix.pick rng els))
+  in
+  let i = ref 0 in
+  let next () =
+    i := (!i + 1) land (n_pairs - 1);
+    pairs.(!i)
+  in
+  let cover = Hopi.cover idx in
+  Test.make_grouped ~name:"query"
+    [
+      Test.make ~name:"connected/cover" (Staged.stage (fun () ->
+          let u, v = next () in
+          ignore (Cover.connected cover u v)));
+      Test.make ~name:"connected/store" (Staged.stage (fun () ->
+          let u, v = next () in
+          ignore (Cover_store.connected store u v)));
+      Test.make ~name:"connected/bfs" (Staged.stage (fun () ->
+          let u, v = next () in
+          ignore (Traversal.is_reachable g u v)));
+      Test.make ~name:"connected/closure-store" (Staged.stage (fun () ->
+          let u, v = next () in
+          ignore (Hopi_storage.Closure_store.connected cstore u v)));
+      Test.make ~name:"min_distance/store" (Staged.stage (fun () ->
+          let u, v = next () in
+          ignore (Cover_store.min_distance dstore u v)));
+      Test.make ~name:"descendants/cover" (Staged.stage (fun () ->
+          let u, _ = next () in
+          ignore (Cover.descendants cover u)));
+    ]
+
+let run (s : Bench_common.scale) =
+  Bench_common.section "micro: query latency (bechamel)";
+  let tests = make_tests s in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols (Instance.monotonic_clock) raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some [ est ] -> est
+        | _ -> nan
+      in
+      rows := (name, ns) :: !rows)
+    results;
+  let rows = List.sort compare !rows in
+  Bench_common.print_table
+    [ "benchmark"; "ns/query" ]
+    (List.map (fun (name, ns) -> [ name; Fmt.str "%.0f" ns ]) rows);
+  Bench_common.note
+    "the cover answers in microseconds where BFS needs a graph traversal."

@@ -1,0 +1,207 @@
+(* hopi — command-line front end.
+
+     hopi gen  --kind dblp --docs 200 --out corpus/   generate a corpus
+     hopi build corpus/                               build + stats
+     hopi query corpus/ '//article//author'           evaluate a path query
+     hopi check corpus/                               exhaustive self-check *)
+
+module Collection = Hopi_collection.Collection
+module Timer = Hopi_util.Timer
+open Hopi_core
+
+let load_dir dir =
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".xml")
+    |> List.sort compare
+  in
+  if files = [] then failwith (Printf.sprintf "no .xml files in %s" dir);
+  let c = Collection.create () in
+  List.iter
+    (fun f ->
+      let ic = open_in_bin (Filename.concat dir f) in
+      let n = in_channel_length ic in
+      let src = really_input_string ic n in
+      close_in ic;
+      match Collection.add_document_xml c ~name:f src with
+      | Ok _ -> ()
+      | Error e ->
+        failwith (Format.asprintf "%s: %a" f Hopi_xml.Xml_parser.pp_error e))
+    files;
+  c
+
+let setup_logs verbose =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (if verbose then Some Logs.Info else Some Logs.Warning)
+
+let config_of_flags partitioner joiner limit domains =
+  let partitioner =
+    match partitioner with
+    | "whole" -> Config.Whole
+    | "single" -> Config.Singleton
+    | "random" -> Config.Random_nodes limit
+    | "closure" -> Config.Closure_aware limit
+    | p -> failwith (Printf.sprintf "unknown partitioner %S" p)
+  in
+  let joiner =
+    match joiner with
+    | "psg" -> Config.Psg
+    | "incremental" -> Config.Incremental
+    | j -> failwith (Printf.sprintf "unknown joiner %S" j)
+  in
+  { Config.default with partitioner; joiner; domains }
+
+(* {1 gen} *)
+
+let gen kind docs out =
+  if not (Sys.file_exists out) then Sys.mkdir out 0o755;
+  let write name text =
+    let oc = open_out_bin (Filename.concat out name) in
+    output_string oc text;
+    close_out oc
+  in
+  (match kind with
+   | "dblp" ->
+     let cfg = Hopi_workload.Dblp_gen.default ~n_docs:docs in
+     for i = 0 to docs - 1 do
+       write (Hopi_workload.Dblp_gen.doc_name i) (Hopi_workload.Dblp_gen.document_xml cfg i)
+     done
+   | "inex" ->
+     let cfg = Hopi_workload.Inex_gen.default ~n_docs:docs in
+     for i = 0 to docs - 1 do
+       write (Hopi_workload.Inex_gen.doc_name i) (Hopi_workload.Inex_gen.document_xml cfg i)
+     done
+   | k -> failwith (Printf.sprintf "unknown kind %S (dblp|inex)" k));
+  Fmt.pr "wrote %d documents to %s@." docs out
+
+(* {1 build} *)
+
+let build dir partitioner joiner limit domains verbose store_path =
+  setup_logs verbose;
+  let c = load_dir dir in
+  Fmt.pr "collection: %d docs, %d elements, %d links (%d unresolved references)@."
+    (Collection.n_docs c) (Collection.n_elements c) (Collection.n_links c)
+    (Collection.pending_links c);
+  let config = config_of_flags partitioner joiner limit domains in
+  Fmt.pr "config: %a@." Config.pp config;
+  let idx, t = Timer.time (fun () -> Hopi.create ~config c) in
+  let r = Hopi.last_build idx in
+  Fmt.pr "built in %a (partition %a, covers %a, join %a)@." Timer.pp_duration t
+    Timer.pp_duration r.Build.partition_seconds Timer.pp_duration r.Build.cover_seconds
+    Timer.pp_duration r.Build.join_seconds;
+  Fmt.pr "cover: %d entries over %d partitions (%d from the join)@." (Hopi.size idx)
+    r.Build.partitioning.Hopi_collection.Partitioning.n r.Build.join_entries;
+  match store_path with
+  | None -> ()
+  | Some path ->
+    let pager = Hopi_storage.Pager.create ~pool_pages:512 (Hopi_storage.Pager.File path) in
+    let store = Hopi.to_store idx pager in
+    Hopi_storage.Cover_store.save store;
+    Fmt.pr "stored %d LIN/LOUT rows on %d pages in %s@."
+      (Hopi_storage.Cover_store.n_entries store)
+      (Hopi_storage.Pager.n_pages pager) path;
+    Hopi_storage.Pager.close pager
+
+(* {1 inspect} *)
+
+let inspect path =
+  let pager = Hopi_storage.Pager.open_existing path in
+  let store = Hopi_storage.Cover_store.open_pager pager in
+  Fmt.pr "%s: %d nodes, %d label entries (%d stored integers) on %d pages (%d KiB)@."
+    path
+    (Hopi_storage.Cover_store.n_nodes store)
+    (Hopi_storage.Cover_store.n_entries store)
+    (Hopi_storage.Cover_store.stored_integers store)
+    (Hopi_storage.Pager.n_pages pager)
+    (Hopi_storage.Pager.size_bytes pager / 1024);
+  Hopi_storage.Pager.close pager
+
+(* {1 query} *)
+
+let query dir expr_str top distance =
+  let c = load_dir dir in
+  let idx = Hopi.create c in
+  let expr = Hopi_query.Path_expr.parse_exn expr_str in
+  let options =
+    { Hopi_query.Eval.default_options with max_results = top; use_distance = distance }
+  in
+  let matches, t = Timer.time (fun () -> Hopi_query.Eval.eval ~options idx expr) in
+  Fmt.pr "%d matches in %a@." (List.length matches) Timer.pp_duration t;
+  List.iteri
+    (fun i m ->
+      let render e =
+        Fmt.str "%s:%s" (Collection.doc_name c (Collection.doc_of_element c e))
+          (Collection.tag_of c e)
+      in
+      Fmt.pr "%3d. score %.3f  %s@." (i + 1) m.Hopi_query.Eval.score
+        (String.concat " -> " (List.map render m.Hopi_query.Eval.path)))
+    matches
+
+(* {1 check} *)
+
+let check dir =
+  let c = load_dir dir in
+  let idx = Hopi.create c in
+  let ok, t = Timer.time (fun () -> Hopi.self_check idx) in
+  Fmt.pr "self-check (%d elements, O(n^2) BFS oracle): %s in %a@."
+    (Collection.n_elements c)
+    (if ok then "ok" else "FAILED")
+    Timer.pp_duration t;
+  if not ok then exit 1
+
+(* {1 command line} *)
+
+open Cmdliner
+
+let dir_arg = Arg.(required & pos 0 (some dir) None & info [] ~docv:"DIR")
+
+let partitioner_arg =
+  Arg.(value & opt string "closure" & info [ "partitioner" ] ~docv:"whole|single|random|closure")
+
+let joiner_arg = Arg.(value & opt string "psg" & info [ "joiner" ] ~docv:"psg|incremental")
+
+let limit_arg =
+  let doc = "Partition limit (elements for random, connections for closure)." in
+  Arg.(value & opt int 100_000 & info [ "limit" ] ~doc)
+
+let gen_cmd =
+  let kind = Arg.(value & opt string "dblp" & info [ "kind" ] ~docv:"dblp|inex") in
+  let docs = Arg.(value & opt int 100 & info [ "docs" ]) in
+  let out = Arg.(required & opt (some string) None & info [ "out" ] ~docv:"DIR") in
+  Cmd.v (Cmd.info "gen" ~doc:"Generate a synthetic XML corpus")
+    Term.(const gen $ kind $ docs $ out)
+
+let build_cmd =
+  let store =
+    Arg.(value & opt (some string) None & info [ "store" ] ~docv:"FILE"
+           ~doc:"Persist LIN/LOUT tables to this page file.")
+  in
+  let domains =
+    Arg.(value & opt int 1 & info [ "domains" ]
+           ~doc:"Worker domains for per-partition covers.")
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log progress.") in
+  Cmd.v (Cmd.info "build" ~doc:"Build the HOPI index and print statistics")
+    Term.(const build $ dir_arg $ partitioner_arg $ joiner_arg $ limit_arg
+          $ domains $ verbose $ store)
+
+let query_cmd =
+  let expr = Arg.(required & pos 1 (some string) None & info [] ~docv:"EXPR") in
+  let top = Arg.(value & opt int 20 & info [ "top" ]) in
+  let distance = Arg.(value & flag & info [ "distance" ] ~doc:"Rank by link distance.") in
+  Cmd.v (Cmd.info "query" ~doc:"Evaluate a path expression (//a//b, ~tag, *, [predicates])")
+    Term.(const query $ dir_arg $ expr $ top $ distance)
+
+let check_cmd =
+  Cmd.v (Cmd.info "check" ~doc:"Verify the index against BFS reachability")
+    Term.(const check $ dir_arg)
+
+let inspect_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  Cmd.v (Cmd.info "inspect" ~doc:"Print statistics of a stored index file")
+    Term.(const inspect $ file)
+
+let () =
+  let doc = "HOPI: a 2-hop-cover connection index for linked XML collections" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "hopi" ~doc) [ gen_cmd; build_cmd; query_cmd; check_cmd; inspect_cmd ]))

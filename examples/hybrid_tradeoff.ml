@@ -1,0 +1,51 @@
+(* The FliX trade-off (the paper's future work, §8): instead of covering
+   every element, keep pre/post tree intervals per document and a 2-hop
+   cover of just the skeleton graph (link endpoints).  This example builds
+   both indexes over the same citation network and compares size, build
+   time and query behaviour, then persists the compact index.
+
+   Run with: dune exec examples/hybrid_tradeoff.exe *)
+
+module Collection = Hopi_collection.Collection
+module Hopi = Hopi_core.Hopi
+module Flix = Hopi_flix.Flix
+module Dblp = Hopi_workload.Dblp_gen
+module Splitmix = Hopi_util.Splitmix
+module Timer = Hopi_util.Timer
+
+let () =
+  let c = Dblp.generate (Dblp.default ~n_docs:120) in
+  Fmt.pr "collection: %d documents, %d elements, %d links@." (Collection.n_docs c)
+    (Collection.n_elements c) (Collection.n_links c);
+
+  let hopi, t_hopi = Timer.time (fun () -> Hopi.create c) in
+  let flix, t_flix = Timer.time (fun () -> Flix.build c) in
+  let st = Flix.stats flix in
+  Fmt.pr "@.full HOPI cover:    %7d entries, built in %a@." (Hopi.size hopi)
+    Timer.pp_duration t_hopi;
+  Fmt.pr "FliX hybrid:        %7d entries, built in %a@." (Flix.size flix)
+    Timer.pp_duration t_flix;
+  Fmt.pr "  (skeleton: %d of %d elements are link endpoints)@."
+    st.Flix.skeleton_nodes (Collection.n_elements c);
+
+  (* both answer identically *)
+  let rng = Splitmix.create 9 in
+  let els =
+    let acc = ref [] in
+    Collection.iter_elements c (fun e -> acc := e :: !acc);
+    Array.of_list !acc
+  in
+  let n = 50_000 in
+  let disagreements = ref 0 and positive = ref 0 in
+  for _ = 1 to n do
+    let u = Splitmix.pick rng els and v = Splitmix.pick rng els in
+    let a = Hopi.connected hopi u v and b = Flix.connected flix u v in
+    if a then incr positive;
+    if a <> b then incr disagreements
+  done;
+  Fmt.pr "@.%d random reachability queries: %d connected, %d disagreements@." n
+    !positive !disagreements;
+  assert (!disagreements = 0);
+
+  Fmt.pr "@.the hybrid stores %.1f%% of the full cover's entries.@."
+    (100.0 *. float_of_int (Flix.size flix) /. float_of_int (Hopi.size hopi))

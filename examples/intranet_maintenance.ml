@@ -1,0 +1,74 @@
+(* Incremental maintenance: a dynamic intranet-like collection where
+   documents are continuously added, modified and removed (Section 6 of the
+   paper).  The index is never rebuilt; every operation updates the 2-hop
+   cover in place, using the fast label-pruning path whenever the removed
+   document separates the document-level graph.
+
+   Run with: dune exec examples/intranet_maintenance.exe *)
+
+module Collection = Hopi_collection.Collection
+module Hopi = Hopi_core.Hopi
+module Maintenance = Hopi_core.Maintenance
+module Dblp = Hopi_workload.Dblp_gen
+module Splitmix = Hopi_util.Splitmix
+module Timer = Hopi_util.Timer
+
+let () =
+  let cfg = Dblp.default ~n_docs:40 in
+  let c = Dblp.generate cfg in
+  let idx, build_s = Timer.time (fun () -> Hopi.create c) in
+  Fmt.pr "initial index: %d docs, %d entries, built in %a@." (Collection.n_docs c)
+    (Hopi.size idx) Timer.pp_duration build_s;
+
+  let rng = Splitmix.create 2026 in
+  let fast = ref 0 and general = ref 0 in
+  let next_doc = ref cfg.Dblp.n_docs in
+
+  for round = 1 to 18 do
+    let c = Hopi.collection idx in
+    let docs = Array.of_list (List.sort compare (Collection.doc_ids c)) in
+    match Splitmix.int rng 3 with
+    | 0 ->
+      (* a crawler found a new document *)
+      let i = !next_doc in
+      incr next_doc;
+      (match
+         Hopi.insert_document_xml idx ~name:(Dblp.doc_name i) (Dblp.document_xml cfg i)
+       with
+       | Ok _ -> Fmt.pr "%2d: insert %-12s -> %d entries@." round (Dblp.doc_name i) (Hopi.size idx)
+       | Error _ -> assert false)
+    | 1 ->
+      (* a document disappeared *)
+      let victim = Splitmix.pick rng docs in
+      let name = Collection.doc_name c victim in
+      let stats = Hopi.remove_document idx victim in
+      if stats.Maintenance.separating then incr fast else incr general;
+      Fmt.pr "%2d: delete %-12s (%s, test %a, delete %a)@." round name
+        (if stats.Maintenance.separating then "fast path" else "general path")
+        Timer.pp_duration stats.Maintenance.test_seconds Timer.pp_duration
+        stats.Maintenance.delete_seconds
+    | _ ->
+      (* a document was edited: diff-based modification applies subtree-level
+         inserts and deletes instead of delete + reinsert (Section 6.3) *)
+      let victim = Splitmix.pick rng docs in
+      let name = Collection.doc_name c victim in
+      let replacement =
+        Hopi_xml.Xml_parser.parse_string_exn
+          {|<article id="r"><title id="t">revised</title><note>edited</note></article>|}
+      in
+      let stats = Hopi.modify_document_diff idx victim replacement in
+      Fmt.pr "%2d: modify %-12s (diff: -%d/+%d subtrees) -> %d entries@." round name
+        stats.Maintenance.subtrees_deleted stats.Maintenance.subtrees_inserted
+        (Hopi.size idx)
+  done;
+
+  Fmt.pr "@.%d deletions used the separating fast path, %d the general path@." !fast
+    !general;
+  Fmt.pr "final: %d docs, %d entries@."
+    (Collection.n_docs (Hopi.collection idx))
+    (Hopi.size idx);
+  let ok, check_s = Timer.time (fun () -> Hopi.self_check idx) in
+  Fmt.pr "exhaustive self-check after 18 updates: %s (%a)@."
+    (if ok then "ok" else "FAILED")
+    Timer.pp_duration check_s;
+  assert ok

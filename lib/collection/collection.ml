@@ -1,0 +1,535 @@
+module Digraph = Hopi_graph.Digraph
+module Ihs = Hopi_util.Int_hashset
+module Xml_tree = Hopi_xml.Xml_tree
+module Xlink = Hopi_xml.Xlink
+
+type link_kind = Tree | Intra | Inter
+
+type element_info = {
+  el_id : int;
+  el_tag : string;
+  el_doc : int;
+  el_parent : int option;
+  el_pre : int;
+  el_post : int;
+  el_anc : int;
+  el_desc : int;
+}
+
+type elem = {
+  e_id : int;
+  e_tag : string;
+  e_attrs : (string * string) list;
+  e_text : string;
+  e_doc : int;
+  e_parent : int option;
+  mutable e_children : int list;  (* reverse insertion order *)
+  mutable e_pre : int;
+  mutable e_post : int;
+  e_anc : int;
+  mutable e_desc : int;
+}
+
+type doc = {
+  d_name : string;
+  d_root : int;
+  mutable d_elements : int list;  (* reverse preorder of creation *)
+  d_id_map : (string, int) Hashtbl.t;
+  mutable d_intra : (int * int) list;
+  d_size : int;
+}
+
+(* An unresolved link reference: [p_src] element points at element
+   [p_frag] (by id attribute; "" = root) of document [p_doc_name]. *)
+type pending = { p_src : int; p_doc_name : string; p_frag : string }
+
+type t = {
+  mutable next_el : int;
+  mutable next_doc : int;
+  docs : (int, doc) Hashtbl.t;
+  by_name : (string, int) Hashtbl.t;
+  els : (int, elem) Hashtbl.t;
+  graph : Digraph.t;
+  tags : (string, Ihs.t) Hashtbl.t;
+  inter : (int * int, pending option) Hashtbl.t;
+      (* resolved inter-document links; the payload allows restoring the
+         reference as pending when the target document is removed *)
+  mutable pend : pending list;
+}
+
+let create () =
+  {
+    next_el = 0;
+    next_doc = 0;
+    docs = Hashtbl.create 64;
+    by_name = Hashtbl.create 64;
+    els = Hashtbl.create 1024;
+    graph = Digraph.create ~initial:1024 ();
+    tags = Hashtbl.create 64;
+    inter = Hashtbl.create 256;
+    pend = [];
+  }
+
+let elem t id =
+  match Hashtbl.find_opt t.els id with
+  | Some e -> e
+  | None -> invalid_arg (Printf.sprintf "Collection: unknown element %d" id)
+
+let doc t id =
+  match Hashtbl.find_opt t.docs id with
+  | Some d -> d
+  | None -> raise Not_found
+
+(* concatenated immediate text children of an element *)
+let direct_text (x : Xml_tree.t) =
+  let buf = Buffer.create 16 in
+  List.iter
+    (function
+      | Xml_tree.Text s -> Buffer.add_string buf s
+      | Xml_tree.Element _ -> ())
+    x.Xml_tree.children;
+  Buffer.contents buf
+
+let tag_bucket t tag =
+  match Hashtbl.find_opt t.tags tag with
+  | Some s -> s
+  | None ->
+    let s = Ihs.create () in
+    Hashtbl.add t.tags tag s;
+    s
+
+(* {1 Link resolution} *)
+
+let resolve_target t (p : pending) =
+  match Hashtbl.find_opt t.by_name p.p_doc_name with
+  | None -> None
+  | Some did ->
+    let d = doc t did in
+    if p.p_frag = "" then Some d.d_root
+    else Hashtbl.find_opt d.d_id_map p.p_frag
+
+(* Install a resolved link [src -> dst]; duplicates (including tree edges)
+   are skipped so that a later [remove_link] can never delete a tree edge. *)
+let install_link t (p : pending) dst =
+  let src = p.p_src in
+  if src <> dst && not (Digraph.mem_edge t.graph src dst) then begin
+    let es = elem t src and ed = elem t dst in
+    Digraph.add_edge t.graph src dst;
+    if es.e_doc = ed.e_doc then begin
+      let d = doc t es.e_doc in
+      d.d_intra <- (src, dst) :: d.d_intra
+    end
+    else Hashtbl.replace t.inter (src, dst) (Some p)
+  end
+
+let try_resolve_pending t =
+  let still = ref [] in
+  List.iter
+    (fun p ->
+      if Hashtbl.mem t.els p.p_src then
+        match resolve_target t p with
+        | Some dst -> install_link t p dst
+        | None -> still := p :: !still)
+    t.pend;
+  t.pend <- List.rev !still
+
+(* {1 Adding documents} *)
+
+let add_document t ~name root =
+  if Hashtbl.mem t.by_name name then
+    invalid_arg (Printf.sprintf "Collection.add_document: duplicate name %S" name);
+  let did = t.next_doc in
+  t.next_doc <- t.next_doc + 1;
+  let id_map = Hashtbl.create 16 in
+  let elements = ref [] in
+  let refs = ref [] in
+  (* pre/post counters within this document *)
+  let pre = ref 0 and post = ref 0 in
+  let rec walk parent_id depth (x : Xml_tree.t) =
+    let eid = t.next_el in
+    t.next_el <- t.next_el + 1;
+    let e =
+      {
+        e_id = eid;
+        e_tag = x.Xml_tree.tag;
+        e_attrs = x.Xml_tree.attrs;
+        e_text = direct_text x;
+        e_doc = did;
+        e_parent = parent_id;
+        e_children = [];
+        e_pre = !pre;
+        e_post = 0;
+        e_anc = depth;
+        e_desc = 1;
+      }
+    in
+    incr pre;
+    Hashtbl.add t.els eid e;
+    elements := eid :: !elements;
+    Digraph.add_node t.graph eid;
+    Ihs.add (tag_bucket t x.Xml_tree.tag) eid;
+    (match parent_id with
+     | Some p ->
+       let pe = elem t p in
+       pe.e_children <- eid :: pe.e_children;
+       Digraph.add_edge t.graph p eid
+     | None -> ());
+    (match Xml_tree.attr x "id" with
+     | Some v -> if not (Hashtbl.mem id_map v) then Hashtbl.add id_map v eid
+     | None -> ());
+    List.iter
+      (fun (tgt : Xlink.target) ->
+        let doc_name = Option.value ~default:name tgt.Xlink.doc in
+        refs := { p_src = eid; p_doc_name = doc_name; p_frag = tgt.Xlink.fragment } :: !refs)
+      (Xlink.targets_of_element x);
+    let desc =
+      List.fold_left
+        (fun acc -> function
+          | Xml_tree.Element c -> acc + walk (Some eid) (depth + 1) c
+          | Xml_tree.Text _ -> acc)
+        1 x.Xml_tree.children
+    in
+    e.e_desc <- desc;
+    e.e_post <- !post;
+    incr post;
+    desc
+  in
+  let root_desc = walk None 1 root in
+  ignore root_desc;
+  let root_el =
+    match List.rev !elements with
+    | r :: _ -> r
+    | [] -> assert false
+  in
+  let d =
+    {
+      d_name = name;
+      d_root = root_el;
+      d_elements = !elements;
+      d_id_map = id_map;
+      d_intra = [];
+      d_size = String.length (Xml_tree.to_string root);
+    }
+  in
+  Hashtbl.add t.docs did d;
+  Hashtbl.add t.by_name name did;
+  (* resolve this document's own references, then retry older pending ones
+     (they may point into the new document) *)
+  t.pend <- List.rev_append !refs t.pend;
+  try_resolve_pending t;
+  did
+
+let add_document_xml t ~name src =
+  match Hopi_xml.Xml_parser.parse_string src with
+  | Error e -> Error e
+  | Ok root -> Ok (add_document t ~name root)
+
+(* {1 Removing documents} *)
+
+let remove_document t did =
+  let d = doc t did in
+  let in_doc eid = match Hashtbl.find_opt t.els eid with
+    | Some e -> e.e_doc = did
+    | None -> false
+  in
+  (* inter-document links touching the removed document *)
+  let to_remove = ref [] in
+  Hashtbl.iter
+    (fun (u, v) spec ->
+      if in_doc u || in_doc v then to_remove := ((u, v), spec) :: !to_remove)
+    t.inter;
+  List.iter
+    (fun ((u, v), spec) ->
+      Hashtbl.remove t.inter (u, v);
+      (* a link from a surviving document into the removed one becomes
+         pending again so re-insertion of the document restores it *)
+      if (not (in_doc u)) && in_doc v then
+        match spec with
+        | Some p -> t.pend <- p :: t.pend
+        | None -> ())
+    !to_remove;
+  (* pending references originating in the removed document *)
+  t.pend <- List.filter (fun p -> not (in_doc p.p_src)) t.pend;
+  (* elements *)
+  List.iter
+    (fun eid ->
+      let e = elem t eid in
+      (match Hashtbl.find_opt t.tags e.e_tag with
+       | Some s -> Ihs.remove s eid
+       | None -> ());
+      Digraph.remove_node t.graph eid;
+      Hashtbl.remove t.els eid)
+    d.d_elements;
+  Hashtbl.remove t.docs did;
+  Hashtbl.remove t.by_name d.d_name
+
+(* {1 Accessors} *)
+
+let n_docs t = Hashtbl.length t.docs
+
+let doc_ids t = Hashtbl.fold (fun id _ acc -> id :: acc) t.docs []
+
+let doc_name t did = (doc t did).d_name
+
+let doc_root_element t did = (doc t did).d_root
+
+let find_doc t name = Hashtbl.find_opt t.by_name name
+
+let doc_of_element t eid = (elem t eid).e_doc
+
+let elements_of_doc t did = List.rev (doc t did).d_elements
+
+let n_elements_of_doc t did = List.length (doc t did).d_elements
+
+let n_elements t = Hashtbl.length t.els
+
+let element_info t eid =
+  let e = elem t eid in
+  {
+    el_id = e.e_id;
+    el_tag = e.e_tag;
+    el_doc = e.e_doc;
+    el_parent = e.e_parent;
+    el_pre = e.e_pre;
+    el_post = e.e_post;
+    el_anc = e.e_anc;
+    el_desc = e.e_desc;
+  }
+
+let tag_of t eid = (elem t eid).e_tag
+
+let attrs_of t eid = (elem t eid).e_attrs
+
+let text_of t eid = (elem t eid).e_text
+
+let children t eid = List.rev (elem t eid).e_children
+
+let subtree_elements t eid =
+  let acc = ref [] in
+  let rec go id =
+    acc := id :: !acc;
+    List.iter go (List.rev (elem t id).e_children)
+  in
+  go eid;
+  List.rev !acc
+
+let elements_with_tag t tag =
+  match Hashtbl.find_opt t.tags tag with
+  | Some s -> Ihs.to_list s
+  | None -> []
+
+let iter_elements t f = Hashtbl.iter (fun id _ -> f id) t.els
+
+let element_graph t = t.graph
+
+let inter_links t = Hashtbl.fold (fun k _ acc -> k :: acc) t.inter []
+
+let intra_links_of_doc t did = (doc t did).d_intra
+
+let n_inter_links t = Hashtbl.length t.inter
+
+let n_links t =
+  Hashtbl.fold (fun _ d acc -> acc + List.length d.d_intra) t.docs (n_inter_links t)
+
+let pending_links t = List.length t.pend
+
+(* {1 Incremental element/link updates} *)
+
+let renumber_doc t d =
+  let pre = ref 0 and post = ref 0 in
+  let rec walk eid =
+    let e = elem t eid in
+    e.e_pre <- !pre;
+    incr pre;
+    let desc =
+      List.fold_left (fun acc c -> acc + walk c) 1 (List.rev e.e_children)
+    in
+    e.e_desc <- desc;
+    e.e_post <- !post;
+    incr post;
+    desc
+  in
+  ignore (walk d.d_root)
+
+let add_element t ~doc:did ~parent ~tag =
+  let d = doc t did in
+  let pe = elem t parent in
+  if pe.e_doc <> did then
+    invalid_arg "Collection.add_element: parent not in that document";
+  let eid = t.next_el in
+  t.next_el <- t.next_el + 1;
+  let e =
+    {
+      e_id = eid;
+      e_tag = tag;
+      e_attrs = [];
+      e_text = "";
+      e_doc = did;
+      e_parent = Some parent;
+      e_children = [];
+      e_pre = 0;
+      e_post = 0;
+      e_anc = pe.e_anc + 1;
+      e_desc = 1;
+    }
+  in
+  Hashtbl.add t.els eid e;
+  d.d_elements <- eid :: d.d_elements;
+  pe.e_children <- eid :: pe.e_children;
+  Digraph.add_edge t.graph parent eid;
+  Ihs.add (tag_bucket t tag) eid;
+  renumber_doc t d;
+  eid
+
+let add_link t u v =
+  let eu = elem t u and ev = elem t v in
+  if u = v then invalid_arg "Collection.add_link: self link";
+  if Digraph.mem_edge t.graph u v then
+    invalid_arg "Collection.add_link: edge already present";
+  Digraph.add_edge t.graph u v;
+  if eu.e_doc = ev.e_doc then begin
+    let d = doc t eu.e_doc in
+    d.d_intra <- (u, v) :: d.d_intra;
+    Intra
+  end
+  else begin
+    (* record a restorable spec when the target carries an id attribute;
+       otherwise the link is dropped if its target document is removed *)
+    let frag =
+      let dd = doc t ev.e_doc in
+      if dd.d_root = v then Some ""
+      else
+        Hashtbl.fold
+          (fun k eid acc -> if eid = v && acc = None then Some k else acc)
+          dd.d_id_map None
+    in
+    let spec =
+      Option.map
+        (fun f -> { p_src = u; p_doc_name = (doc t ev.e_doc).d_name; p_frag = f })
+        frag
+    in
+    Hashtbl.replace t.inter (u, v) spec;
+    Inter
+  end
+
+let remove_link t u v =
+  let eu = elem t u and ev = elem t v in
+  if eu.e_doc = ev.e_doc then begin
+    let d = doc t eu.e_doc in
+    if not (List.mem (u, v) d.d_intra) then
+      invalid_arg "Collection.remove_link: not an intra-document link";
+    d.d_intra <- List.filter (fun l -> l <> (u, v)) d.d_intra;
+    Digraph.remove_edge t.graph u v
+  end
+  else begin
+    if not (Hashtbl.mem t.inter (u, v)) then
+      invalid_arg "Collection.remove_link: not an inter-document link";
+    Hashtbl.remove t.inter (u, v);
+    Digraph.remove_edge t.graph u v
+  end
+
+let add_subtree t ~doc:did ~parent root =
+  let d = doc t did in
+  let pe = elem t parent in
+  if pe.e_doc <> did then
+    invalid_arg "Collection.add_subtree: parent not in that document";
+  let created = ref [] in
+  let refs = ref [] in
+  let rec walk parent_el depth (x : Xml_tree.t) =
+    let eid = t.next_el in
+    t.next_el <- t.next_el + 1;
+    let e =
+      {
+        e_id = eid;
+        e_tag = x.Xml_tree.tag;
+        e_attrs = x.Xml_tree.attrs;
+        e_text = direct_text x;
+        e_doc = did;
+        e_parent = Some parent_el.e_id;
+        e_children = [];
+        e_pre = 0;
+        e_post = 0;
+        e_anc = depth;
+        e_desc = 1;
+      }
+    in
+    Hashtbl.add t.els eid e;
+    created := eid :: !created;
+    d.d_elements <- eid :: d.d_elements;
+    parent_el.e_children <- eid :: parent_el.e_children;
+    Digraph.add_edge t.graph parent_el.e_id eid;
+    Ihs.add (tag_bucket t x.Xml_tree.tag) eid;
+    (match Xml_tree.attr x "id" with
+     | Some v -> if not (Hashtbl.mem d.d_id_map v) then Hashtbl.add d.d_id_map v eid
+     | None -> ());
+    List.iter
+      (fun (tgt : Xlink.target) ->
+        let doc_name = Option.value ~default:d.d_name tgt.Xlink.doc in
+        refs := { p_src = eid; p_doc_name = doc_name; p_frag = tgt.Xlink.fragment } :: !refs)
+      (Xlink.targets_of_element x);
+    List.iter
+      (function Xml_tree.Element cx -> walk e (depth + 1) cx | Xml_tree.Text _ -> ())
+      x.Xml_tree.children
+  in
+  walk pe (pe.e_anc + 1) root;
+  renumber_doc t d;
+  (* resolve the fragment's references, plus older pending ones that may
+     point at the new elements *)
+  t.pend <- List.rev_append !refs t.pend;
+  try_resolve_pending t;
+  List.rev !created
+
+let remove_subtree t eid =
+  let e = elem t eid in
+  if e.e_parent = None then
+    invalid_arg "Collection.remove_subtree: cannot remove a document root";
+  let d = doc t e.e_doc in
+  let removed = subtree_elements t eid in
+  let in_sub =
+    let h = Hashtbl.create (List.length removed) in
+    List.iter (fun x -> Hashtbl.replace h x ()) removed;
+    fun x -> Hashtbl.mem h x
+  in
+  (* inter-document links touching removed elements *)
+  let to_remove = ref [] in
+  Hashtbl.iter
+    (fun (u, v) spec ->
+      if in_sub u || in_sub v then to_remove := ((u, v), spec) :: !to_remove)
+    t.inter;
+  List.iter
+    (fun ((u, v), spec) ->
+      Hashtbl.remove t.inter (u, v);
+      if (not (in_sub u)) && in_sub v then
+        match spec with
+        | Some p -> t.pend <- p :: t.pend
+        | None -> ())
+    !to_remove;
+  (* intra-document links of this (and only this) document *)
+  d.d_intra <- List.filter (fun (u, v) -> not (in_sub u || in_sub v)) d.d_intra;
+  (* pending references originating in the subtree *)
+  t.pend <- List.filter (fun p -> not (in_sub p.p_src)) t.pend;
+  (* id-attribute registrations pointing into the subtree *)
+  let dead_ids =
+    Hashtbl.fold (fun k v acc -> if in_sub v then k :: acc else acc) d.d_id_map []
+  in
+  List.iter (Hashtbl.remove d.d_id_map) dead_ids;
+  (* detach from the parent, drop the elements *)
+  (match e.e_parent with
+   | Some p ->
+     let pe = elem t p in
+     pe.e_children <- List.filter (fun x -> x <> eid) pe.e_children
+   | None -> ());
+  List.iter
+    (fun x ->
+      let ex = elem t x in
+      (match Hashtbl.find_opt t.tags ex.e_tag with
+       | Some s -> Ihs.remove s x
+       | None -> ());
+      Digraph.remove_node t.graph x;
+      Hashtbl.remove t.els x)
+    removed;
+  d.d_elements <- List.filter (fun x -> not (in_sub x)) d.d_elements;
+  renumber_doc t d;
+  removed
+
+let serialized_size t = Hashtbl.fold (fun _ d acc -> acc + d.d_size) t.docs 0

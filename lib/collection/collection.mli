@@ -1,0 +1,135 @@
+(** Collections of linked XML documents — the paper's formal model
+    (Section 2).
+
+    A collection [X = (D, L)] holds a set of documents and the links between
+    them.  Every element of every document gets a globally unique integer id
+    (never reused), and the *element-level graph* [G_E(X)] — parent/child
+    tree edges plus intra- and inter-document links — is maintained
+    incrementally as documents are added and removed.
+
+    Links are recognised from XLink/href/IDREF syntax (see {!Hopi_xml.Xlink})
+    and resolved against the current document universe; references to
+    documents that are not (yet) present stay *pending* and resolve
+    automatically when the target document is added. *)
+
+type t
+
+type link_kind = Tree | Intra | Inter
+
+type element_info = {
+  el_id : int;
+  el_tag : string;
+  el_doc : int;  (** owning document id *)
+  el_parent : int option;  (** parent in the element tree *)
+  el_pre : int;  (** preorder rank within the document *)
+  el_post : int;  (** postorder rank within the document *)
+  el_anc : int;  (** #ancestors in the element tree, including itself *)
+  el_desc : int;  (** #descendants in the element tree, including itself *)
+}
+
+val create : unit -> t
+
+(** {1 Documents} *)
+
+val add_document : t -> name:string -> Hopi_xml.Xml_tree.t -> int
+(** Returns the new document id.
+    @raise Invalid_argument if a document with this name already exists. *)
+
+val add_document_xml : t -> name:string -> string -> (int, Hopi_xml.Xml_parser.error) result
+(** Parse and add. *)
+
+val remove_document : t -> int -> unit
+(** Removes the document, its elements and all incident links.  Inter-document
+    links *into* the removed document become pending again, so re-adding a
+    document with the same name restores them.
+    @raise Not_found for an unknown document id. *)
+
+val n_docs : t -> int
+
+val doc_ids : t -> int list
+
+val doc_name : t -> int -> string
+
+val doc_root_element : t -> int -> int
+(** Element id of the document's root. *)
+
+val find_doc : t -> string -> int option
+
+val doc_of_element : t -> int -> int
+(** The document mapping function [doc] of the paper. *)
+
+val elements_of_doc : t -> int -> int list
+
+val n_elements_of_doc : t -> int -> int
+
+(** {1 Elements} *)
+
+val n_elements : t -> int
+
+val element_info : t -> int -> element_info
+
+val tag_of : t -> int -> string
+
+val attrs_of : t -> int -> (string * string) list
+(** The element's XML attributes as parsed. *)
+
+val text_of : t -> int -> string
+(** The element's immediate text content (not including descendants). *)
+
+val children : t -> int -> int list
+(** Child elements in document order. *)
+
+val subtree_elements : t -> int -> int list
+(** The element and all its tree descendants, in preorder. *)
+
+val elements_with_tag : t -> string -> int list
+
+val iter_elements : t -> (int -> unit) -> unit
+
+(** {1 Graph and links} *)
+
+val element_graph : t -> Hopi_graph.Digraph.t
+(** The live element-level graph [G_E(X)].  Callers must not mutate it. *)
+
+val inter_links : t -> (int * int) list
+(** The set [L] of inter-document links (element-id pairs). *)
+
+val intra_links_of_doc : t -> int -> (int * int) list
+
+val n_inter_links : t -> int
+
+val n_links : t -> int
+(** [|L(X)|]: inter- plus intra-document links. *)
+
+val pending_links : t -> int
+(** Number of unresolved (dangling) link references. *)
+
+val add_element : t -> doc:int -> parent:int -> tag:string -> int
+(** Incremental node insertion: a fresh element as a child of [parent].
+    Pre/post ranks of the document are renumbered. *)
+
+val add_subtree : t -> doc:int -> parent:int -> Hopi_xml.Xml_tree.t -> int list
+(** Graft a parsed XML fragment under [parent]: elements are created in
+    preorder (the returned list), id attributes register for fragment
+    resolution, and the fragment's link references resolve like those of a
+    new document (unresolvable ones stay pending). *)
+
+val remove_subtree : t -> int -> int list
+(** Remove an element and its tree descendants (returned in preorder, as
+    they were).  Links incident to removed elements are dropped; incoming
+    inter-document links become pending again when restorable.
+    @raise Invalid_argument when applied to a document root — use
+    {!remove_document}. *)
+
+val add_link : t -> int -> int -> link_kind
+(** Incremental edge insertion between two existing elements; returns the
+    kind it was classified as ([Intra] or [Inter]).
+    @raise Invalid_argument for a tree edge or unknown elements. *)
+
+val remove_link : t -> int -> int -> unit
+(** Removes an intra- or inter-document link.
+    @raise Invalid_argument when no such link exists. *)
+
+val serialized_size : t -> int
+(** Total size in bytes of all documents when serialised — the "size" column
+    of the paper's Table 1. *)

@@ -1,0 +1,79 @@
+module Digraph = Hopi_graph.Digraph
+module Ihs = Hopi_util.Int_hashset
+
+type t = {
+  n : int;
+  part_of_doc : (int, int) Hashtbl.t;
+  docs_of_part : int list array;
+  cross_links : (int * int) list;
+}
+
+let make c ~part_of_doc ~n =
+  let docs_of_part = Array.make (max n 1) [] in
+  List.iter
+    (fun did ->
+      match Hashtbl.find_opt part_of_doc did with
+      | Some p when p >= 0 && p < n ->
+        docs_of_part.(p) <- did :: docs_of_part.(p)
+      | Some p ->
+        invalid_arg (Printf.sprintf "Partitioning.make: partition %d out of range" p)
+      | None ->
+        invalid_arg (Printf.sprintf "Partitioning.make: document %d unassigned" did))
+    (Collection.doc_ids c);
+  let cross_links =
+    List.filter
+      (fun (u, v) ->
+        let pu = Hashtbl.find part_of_doc (Collection.doc_of_element c u)
+        and pv = Hashtbl.find part_of_doc (Collection.doc_of_element c v) in
+        pu <> pv)
+      (Collection.inter_links c)
+  in
+  { n; part_of_doc; docs_of_part; cross_links }
+
+let singleton_per_doc c =
+  let part_of_doc = Hashtbl.create (Collection.n_docs c) in
+  let n = ref 0 in
+  List.iter
+    (fun did ->
+      Hashtbl.replace part_of_doc did !n;
+      incr n)
+    (List.sort compare (Collection.doc_ids c));
+  make c ~part_of_doc ~n:!n
+
+let whole_collection c =
+  let part_of_doc = Hashtbl.create (Collection.n_docs c) in
+  List.iter (fun did -> Hashtbl.replace part_of_doc did 0) (Collection.doc_ids c);
+  make c ~part_of_doc ~n:1
+
+let part_of_element t c eid = Hashtbl.find t.part_of_doc (Collection.doc_of_element c eid)
+
+let element_subgraph t c p =
+  let keep = Ihs.create () in
+  List.iter
+    (fun did -> List.iter (fun e -> Ihs.add keep e) (Collection.elements_of_doc c did))
+    t.docs_of_part.(p);
+  Digraph.induced_subgraph (Collection.element_graph c) keep
+
+let check t c =
+  let seen = Ihs.create () in
+  Array.iteri
+    (fun p docs ->
+      List.iter
+        (fun did ->
+          if Ihs.mem seen did then
+            invalid_arg (Printf.sprintf "Partitioning.check: document %d in two partitions" did);
+          Ihs.add seen did;
+          if Hashtbl.find_opt t.part_of_doc did <> Some p then
+            invalid_arg "Partitioning.check: inconsistent part_of_doc")
+        docs)
+    t.docs_of_part;
+  List.iter
+    (fun did ->
+      if not (Ihs.mem seen did) then
+        invalid_arg (Printf.sprintf "Partitioning.check: document %d missing" did))
+    (Collection.doc_ids c);
+  List.iter
+    (fun (u, v) ->
+      if part_of_element t c u = part_of_element t c v then
+        invalid_arg "Partitioning.check: non-crossing link recorded as crossing")
+    t.cross_links

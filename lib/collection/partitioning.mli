@@ -1,0 +1,30 @@
+(** Partitionings of a collection (Section 2): disjoint sets of documents
+    [P_1..P_m] plus the set [L_P] of element-level links that cross
+    partitions. *)
+
+type t = {
+  n : int;  (** number of partitions *)
+  part_of_doc : (int, int) Hashtbl.t;  (** document id -> partition id *)
+  docs_of_part : int list array;  (** partition id -> document ids *)
+  cross_links : (int * int) list;  (** element-level links between partitions *)
+}
+
+val make : Collection.t -> part_of_doc:(int, int) Hashtbl.t -> n:int -> t
+(** Classifies every inter-document link as internal or crossing.
+    Every document of the collection must be assigned. *)
+
+val singleton_per_doc : Collection.t -> t
+(** The "naive" partitioning of the paper's Table 2 row [single]: one
+    document per partition. *)
+
+val whole_collection : Collection.t -> t
+(** Everything in one partition (no cross links). *)
+
+val part_of_element : t -> Collection.t -> int -> int
+
+val element_subgraph : t -> Collection.t -> int -> Hopi_graph.Digraph.t
+(** The element-level graph of one partition: tree edges, intra-document
+    links and inter-document links that stay inside the partition. *)
+
+val check : t -> Collection.t -> unit
+(** Validates the partitioning invariants; raises [Invalid_argument]. *)

@@ -1,0 +1,101 @@
+module Digraph = Hopi_graph.Digraph
+module Ihs = Hopi_util.Int_hashset
+
+type t = {
+  graph : Digraph.t;
+  sources : Ihs.t;
+  targets : Ihs.t;
+  links : (int * int) list;
+}
+
+let is_tree_ancestor c v x =
+  let iv = Collection.element_info c v and ix = Collection.element_info c x in
+  iv.Collection.el_doc = ix.Collection.el_doc
+  && iv.Collection.el_pre <= ix.Collection.el_pre
+  && iv.Collection.el_post >= ix.Collection.el_post
+
+let all_links c =
+  let intra =
+    List.concat_map (fun did -> Collection.intra_links_of_doc c did) (Collection.doc_ids c)
+  in
+  List.rev_append (Collection.inter_links c) intra
+
+let of_collection c =
+  let links = all_links c in
+  let graph = Digraph.create () in
+  let sources = Ihs.create () and targets = Ihs.create () in
+  List.iter
+    (fun (u, v) ->
+      Ihs.add sources u;
+      Ihs.add targets v;
+      Digraph.add_edge graph u v)
+    links;
+  (* connect link targets to link sources of the same document when the
+     target is a tree ancestor-or-self of the source *)
+  let by_doc = Hashtbl.create 64 in
+  let bucket did =
+    match Hashtbl.find_opt by_doc did with
+    | Some b -> b
+    | None ->
+      let b = (ref [], ref []) in
+      Hashtbl.add by_doc did b;
+      b
+  in
+  Ihs.iter
+    (fun s ->
+      let srcs, _ = bucket (Collection.doc_of_element c s) in
+      srcs := s :: !srcs)
+    sources;
+  Ihs.iter
+    (fun tg ->
+      let _, tgts = bucket (Collection.doc_of_element c tg) in
+      tgts := tg :: !tgts)
+    targets;
+  Hashtbl.iter
+    (fun _ (srcs, tgts) ->
+      List.iter
+        (fun v ->
+          List.iter
+            (fun x -> if v <> x && is_tree_ancestor c v x then Digraph.add_edge graph v x)
+            !srcs)
+        !tgts)
+    by_doc;
+  { graph; sources; targets; links }
+
+type annotation = { a : int; d : int }
+
+let annotate c t ~max_depth =
+  let is_link =
+    let h = Hashtbl.create (List.length t.links) in
+    List.iter (fun l -> Hashtbl.replace h l ()) t.links;
+    fun u v -> Hashtbl.mem h (u, v)
+  in
+  let anc x = (Collection.element_info c x).Collection.el_anc in
+  let desc x = (Collection.element_info c x).Collection.el_desc in
+  let result = Hashtbl.create (Digraph.n_nodes t.graph) in
+  (* Bounded BFS accumulating [desc] of link targets forward and [anc] of
+     link sources backward, as described in Section 4.3. *)
+  let traverse iter_next edge_of x gain0 gain =
+    let total = ref gain0 in
+    let seen = Ihs.create () in
+    let q = Queue.create () in
+    Ihs.add seen x;
+    Queue.add (x, 0) q;
+    while not (Queue.is_empty q) do
+      let u, du = Queue.pop q in
+      if du < max_depth then
+        iter_next t.graph u (fun v ->
+            if not (Ihs.mem seen v) then begin
+              Ihs.add seen v;
+              let eu, ev = edge_of u v in
+              if is_link eu ev then total := !total + gain v;
+              Queue.add (v, du + 1) q
+            end)
+    done;
+    !total
+  in
+  Digraph.iter_nodes t.graph (fun x ->
+      let d = traverse Digraph.iter_succ (fun u v -> (u, v)) x (desc x) desc in
+      let a = traverse Digraph.iter_pred (fun u v -> (v, u)) x (anc x) anc in
+      Hashtbl.replace result x { a; d });
+  result

@@ -1,0 +1,32 @@
+(** The skeleton graph [S(X)] (Definition 2 of the paper).
+
+    Nodes are the elements that are sources or targets of links; edges are
+    all links [L(X)] plus, for each link target [v] and link source [x] in
+    the same document with [v →* x] in the element *tree*, an edge [(v,x)].
+
+    The skeleton graph is used to compute the connection-aware edge weights
+    of Section 4.3: each node [x] is annotated with its element-tree
+    ancestor/descendant counts [anc(x)]/[desc(x)], and the global counts
+    [A(x)]/[D(x)] are approximated by breadth-first traversals bounded to
+    paths of a configurable length. *)
+
+type t = {
+  graph : Hopi_graph.Digraph.t;  (** nodes are element ids *)
+  sources : Hopi_util.Int_hashset.t;  (** elements that are link sources *)
+  targets : Hopi_util.Int_hashset.t;  (** elements that are link targets *)
+  links : (int * int) list;  (** the link edges, i.e. [L(X)] *)
+}
+
+val of_collection : Collection.t -> t
+
+val is_tree_ancestor : Collection.t -> int -> int -> bool
+(** [is_tree_ancestor c v x]: [v →* x] in the element tree of their common
+    document (pre/post interval containment); [false] when the documents
+    differ. *)
+
+type annotation = { a : int;  (** approximated global #ancestors *)
+                    d : int  (** approximated global #descendants *) }
+
+val annotate : Collection.t -> t -> max_depth:int -> (int, annotation) Hashtbl.t
+(** Bounded traversal approximation of [A(x)] and [D(x)] for every skeleton
+    node (Section 4.3). *)

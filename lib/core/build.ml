@@ -1,0 +1,144 @@
+module Cover = Hopi_twohop.Cover
+module Builder = Hopi_twohop.Builder
+module Closure = Hopi_graph.Closure
+module Collection = Hopi_collection.Collection
+module Partitioning = Hopi_collection.Partitioning
+module Weights = Hopi_partition.Weights
+module Timer = Hopi_util.Timer
+
+let log = Logs.Src.create "hopi.build" ~doc:"HOPI index construction"
+
+module Log = (val Logs.src_log log : Logs.LOG)
+
+type result = {
+  cover : Cover.t;
+  partitioning : Partitioning.t;
+  partition_covers : Cover.t array;
+  partition_entries : int;
+  join_entries : int;
+  closure_connections : int;
+  build_seconds : float;
+  partition_seconds : float;
+  cover_seconds : float;
+  join_seconds : float;
+}
+
+let make_partitioning (config : Config.t) c =
+  match config.Config.partitioner with
+  | Config.Whole -> Partitioning.whole_collection c
+  | Config.Singleton -> Partitioning.singleton_per_doc c
+  | Config.Random_nodes max_elements ->
+    let dg = Weights.doc_graph c config.Config.weight_scheme in
+    Hopi_partition.Random_partitioner.partition ~seed:config.Config.seed ~max_elements c dg
+  | Config.Closure_aware max_connections ->
+    let dg = Weights.doc_graph c config.Config.weight_scheme in
+    Hopi_partition.Closure_partitioner.partition ~seed:config.Config.seed
+      ~max_connections c dg
+
+let build (config : Config.t) c =
+  let t0 = Timer.start () in
+  Log.info (fun m ->
+      m "building index for %d documents / %d elements (%a)" (Collection.n_docs c)
+        (Collection.n_elements c) Config.pp config);
+  let partitioning, partition_seconds = Timer.time (fun () -> make_partitioning config c) in
+  Log.info (fun m ->
+      m "partitioned into %d partitions (%d cross links) in %.2fs"
+        partitioning.Partitioning.n
+        (List.length partitioning.Partitioning.cross_links)
+        partition_seconds);
+  (* preselected centers: targets of cross-partition links, grouped by the
+     partition that contains them (Section 4.2) *)
+  let preselect = Hashtbl.create 16 in
+  if config.Config.preselect_link_targets then
+    List.iter
+      (fun (_, v) ->
+        let p = Partitioning.part_of_element partitioning c v in
+        let old = Option.value ~default:[] (Hashtbl.find_opt preselect p) in
+        Hashtbl.replace preselect p (v :: old))
+      partitioning.Partitioning.cross_links;
+  let closure_connections = ref 0 in
+  (* per-partition covers are independent of each other; with [domains > 1]
+     they are computed concurrently (the paper: "all these computations can
+     be done concurrently", enabling a speedup close to the CPU count with
+     the evenly-sized partitions of the closure-aware partitioner) *)
+  let cover_one p =
+    let g = Partitioning.element_subgraph partitioning c p in
+    let clo = Closure.compute g in
+    let preselect_centers = Option.value ~default:[] (Hashtbl.find_opt preselect p) in
+    let cover, _ = Builder.build ~preselect_centers clo in
+    (cover, Closure.n_connections clo)
+  in
+  let n_partitions = partitioning.Partitioning.n in
+  let results, cover_seconds =
+    Timer.time (fun () ->
+        let workers = max 1 (min config.Config.domains n_partitions) in
+        if workers = 1 then Array.init n_partitions cover_one
+        else begin
+          let results = Array.make n_partitions None in
+          let next = Atomic.make 0 in
+          let worker () =
+            let rec loop () =
+              let p = Atomic.fetch_and_add next 1 in
+              if p < n_partitions then begin
+                results.(p) <- Some (cover_one p);
+                loop ()
+              end
+            in
+            loop ()
+          in
+          let spawned = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
+          worker ();
+          List.iter Domain.join spawned;
+          Array.map (function Some r -> r | None -> assert false) results
+        end)
+  in
+  let partition_covers = Array.map fst results in
+  Array.iter (fun (_, n) -> closure_connections := !closure_connections + n) results;
+  let partition_entries =
+    Array.fold_left (fun acc cov -> acc + Cover.size cov) 0 partition_covers
+  in
+  Log.info (fun m ->
+      m "partition covers: %d entries over %d closure connections in %.2fs"
+        partition_entries !closure_connections cover_seconds);
+  let final = Cover.create ~initial:(Collection.n_elements c) () in
+  Array.iter (fun cov -> Cover.union_into ~dst:final cov) partition_covers;
+  let join_entries, join_seconds =
+    Timer.time (fun () ->
+        match config.Config.joiner with
+        | Config.Incremental ->
+          (Join_incremental.join final partitioning.Partitioning.cross_links)
+            .Join_incremental.entries_added
+        | Config.Psg ->
+          (Join_psg.join c partitioning
+             ~partition_cover:(fun p -> partition_covers.(p))
+             ~final)
+            .Join_psg.entries_added
+        | Config.Psg_partitioned budget ->
+          (Join_psg.join ~strategy:(Join_psg.Partitioned budget) c partitioning
+             ~partition_cover:(fun p -> partition_covers.(p))
+             ~final)
+            .Join_psg.entries_added)
+  in
+  Log.info (fun m ->
+      m "join added %d entries in %.2fs; total %d entries in %.2fs" join_entries
+        join_seconds (Cover.size final) (Timer.elapsed_s t0));
+  {
+    cover = final;
+    partitioning;
+    partition_covers;
+    partition_entries;
+    join_entries;
+    closure_connections = !closure_connections;
+    build_seconds = Timer.elapsed_s t0;
+    partition_seconds;
+    cover_seconds;
+    join_seconds;
+  }
+
+let compression r =
+  if Cover.size r.cover = 0 then 1.0
+  else float_of_int r.closure_connections /. float_of_int (Cover.size r.cover)
+
+let full_compression ~total_closure r =
+  if Cover.size r.cover = 0 then 1.0
+  else float_of_int total_closure /. float_of_int (Cover.size r.cover)

@@ -1,0 +1,28 @@
+(** Divide-and-conquer index construction (Sections 3.3 and 4):
+    partition the document-level graph, build one 2-hop cover per partition
+    (optionally preselecting cross-link targets as centers), and join the
+    covers with either the incremental or the PSG algorithm. *)
+
+type result = {
+  cover : Hopi_twohop.Cover.t;
+  partitioning : Hopi_collection.Partitioning.t;
+  partition_covers : Hopi_twohop.Cover.t array;
+  partition_entries : int;  (** Σ sizes of the partition covers *)
+  join_entries : int;  (** entries added by the join phase *)
+  closure_connections : int;  (** Σ per-partition closure sizes *)
+  build_seconds : float;
+  partition_seconds : float;
+  cover_seconds : float;
+  join_seconds : float;
+}
+
+val build : Config.t -> Hopi_collection.Collection.t -> result
+
+val compression : result -> float
+(** Transitive-closure connections divided by cover entries — the paper's
+    "compression" column (with the closure measured per partition plus
+    cross-partition connections uncounted, the paper reports it against the
+    full closure; use {!full_compression} for that). *)
+
+val full_compression : total_closure:int -> result -> float
+(** [total_closure / cover size], Table 2's compression. *)

@@ -1,0 +1,133 @@
+module Dist_cover = Hopi_twohop.Dist_cover
+module Dist_builder = Hopi_twohop.Dist_builder
+module Digraph = Hopi_graph.Digraph
+module Traversal = Hopi_graph.Traversal
+module Collection = Hopi_collection.Collection
+module Doc_graph = Hopi_collection.Doc_graph
+module Ihs = Hopi_util.Int_hashset
+module Timer = Hopi_util.Timer
+
+(* d_new(a,y) = min(d_old(a,y), d_old(a,u) + 1 + d_old(v,y)): the target [v]
+   becomes the center of all shortened connections, carrying exact new
+   distances. *)
+let insert_edge dc u v =
+  Dist_cover.add_node dc u;
+  Dist_cover.add_node dc v;
+  let d_av a =
+    match Dist_cover.dist dc a v with
+    | Some d -> d
+    | None -> max_int
+  in
+  let ancestors = ref [] in
+  Dist_cover.iter_nodes dc (fun a ->
+      match Dist_cover.dist dc a u with
+      | Some dau -> ancestors := (a, dau) :: !ancestors
+      | None -> ());
+  let descendants = ref [] in
+  Dist_cover.iter_nodes dc (fun y ->
+      match Dist_cover.dist dc v y with
+      | Some dvy -> descendants := (y, dvy) :: !descendants
+      | None -> ());
+  List.iter
+    (fun (a, dau) ->
+      let dist = min (dau + 1) (d_av a) in
+      Dist_cover.add_out dc ~node:a ~center:v ~dist)
+    !ancestors;
+  List.iter
+    (fun (y, dvy) -> Dist_cover.add_in dc ~node:y ~center:v ~dist:dvy)
+    !descendants
+
+let insert_document c dc ~name root =
+  let links_before = Hashtbl.create 64 in
+  List.iter (fun l -> Hashtbl.replace links_before l ()) (Collection.inter_links c);
+  let did = Collection.add_document c ~name root in
+  let members = Ihs.create () in
+  List.iter (fun e -> Ihs.add members e) (Collection.elements_of_doc c did);
+  let sub = Digraph.induced_subgraph (Collection.element_graph c) members in
+  let doc_cover, _ = Dist_builder.build sub in
+  Dist_cover.union_into ~dst:dc doc_cover;
+  let new_links =
+    List.filter (fun l -> not (Hashtbl.mem links_before l)) (Collection.inter_links c)
+  in
+  List.iter (fun (u, v) -> insert_edge dc u v) new_links;
+  did
+
+(* The distance fast path needs the stronger precondition that no document
+   is simultaneously ancestor and descendant of [did] — otherwise a pair of
+   surviving elements could keep its connection but lose its shortest path. *)
+let separates_strictly c did =
+  let dg = (Doc_graph.of_collection c).Doc_graph.graph in
+  let anc = Traversal.reachable_backward dg [ did ] in
+  let desc = Traversal.reachable dg [ did ] in
+  Ihs.remove anc did;
+  Ihs.remove desc did;
+  let overlap = ref false in
+  Ihs.iter (fun d -> if Ihs.mem desc d then overlap := true) anc;
+  if !overlap then (false, anc, desc)
+  else if Ihs.is_empty anc || Ihs.is_empty desc then (true, anc, desc)
+  else begin
+    let reached =
+      Traversal.reachable_avoiding dg ~avoid:(fun d -> d = did) (Ihs.to_list anc)
+    in
+    let hit = ref false in
+    Ihs.iter (fun d -> if Ihs.mem reached d then hit := true) desc;
+    (not !hit, anc, desc)
+  end
+
+let delete_separating c dc did anc_docs desc_docs =
+  let v_di = Ihs.create () in
+  List.iter (fun e -> Ihs.add v_di e) (Collection.elements_of_doc c did);
+  let elements_of_docs docs =
+    let s = Ihs.create () in
+    Ihs.iter
+      (fun d -> List.iter (fun e -> Ihs.add s e) (Collection.elements_of_doc c d))
+      docs;
+    s
+  in
+  let va = elements_of_docs anc_docs in
+  let vd = elements_of_docs desc_docs in
+  let keep_out w = not (Ihs.mem v_di w || Ihs.mem vd w) in
+  let keep_in w = not (Ihs.mem v_di w || Ihs.mem va w) in
+  Ihs.iter (fun a -> Dist_cover.filter_lout dc a ~keep:keep_out) va;
+  Ihs.iter (fun d -> Dist_cover.filter_lin dc d ~keep:keep_in) vd;
+  Ihs.iter (fun v -> Dist_cover.remove_node dc v) v_di
+
+let delete_general c dc did =
+  let g = Collection.element_graph c in
+  let v_di = Ihs.create () in
+  List.iter (fun e -> Ihs.add v_di e) (Collection.elements_of_doc c did);
+  let v_di_list = Ihs.to_list v_di in
+  let a_di = Traversal.reachable_backward g v_di_list in
+  let d_di = Traversal.reachable g v_di_list in
+  let seeds = Ihs.fold (fun x acc -> if Ihs.mem v_di x then acc else x :: acc) a_di [] in
+  let avoid x = Ihs.mem v_di x in
+  let r = Traversal.reachable_avoiding g ~avoid seeds in
+  let sub = Digraph.induced_subgraph g r in
+  let hat, _ = Dist_builder.build sub in
+  Ihs.iter (fun a -> if not (Ihs.mem v_di a) then Dist_cover.clear_lout dc a) a_di;
+  Ihs.iter
+    (fun d ->
+      if not (Ihs.mem v_di d) then
+        Dist_cover.filter_lin dc d ~keep:(fun w -> not (Ihs.mem a_di w)))
+    d_di;
+  Dist_cover.union_into ~dst:dc hat;
+  Ihs.iter (fun v -> Dist_cover.remove_node dc v) v_di;
+  Ihs.cardinal r
+
+let delete_document c dc did =
+  let (sep, anc, desc), test_seconds =
+    Timer.time (fun () -> separates_strictly c did)
+  in
+  let recomputed = ref 0 in
+  let (), delete_seconds =
+    Timer.time (fun () ->
+        if sep then delete_separating c dc did anc desc
+        else recomputed := delete_general c dc did;
+        Collection.remove_document c did)
+  in
+  {
+    Maintenance.separating = sep;
+    test_seconds;
+    delete_seconds;
+    recomputed_nodes = !recomputed;
+  }

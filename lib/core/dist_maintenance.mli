@@ -1,0 +1,31 @@
+(** Incremental maintenance of distance-aware covers.
+
+    Section 6 of the paper notes that its maintenance algorithms "can be
+    applied also for distance-aware covers"; this module carries that out.
+    The differences to the boolean case:
+
+    - edge insertion [(u,v)] must record *exact* new distances: every
+      ancestor [a] of [u] gets the entry [(v, min(d(a,v), d(a,u)+1))] and
+      every descendant [d] of [v] the entry [(v, d(v,d))], which realises
+      [d_new(a,d) = min(d_old(a,d), d_old(a,u) + 1 + d_old(v,d))];
+    - the separating fast path for deletion additionally requires that no
+      document is both ancestor and descendant of the deleted one
+      (otherwise a surviving pair could lose a shortest path through the
+      deleted document while staying connected);
+    - the partial recomputation uses the distance-aware builder. *)
+
+val insert_edge : Hopi_twohop.Dist_cover.t -> int -> int -> unit
+(** Cover-only update for an edge already added to the element graph. *)
+
+val insert_document :
+  Hopi_collection.Collection.t ->
+  Hopi_twohop.Dist_cover.t ->
+  name:string ->
+  Hopi_xml.Xml_tree.t ->
+  int
+
+val delete_document :
+  Hopi_collection.Collection.t ->
+  Hopi_twohop.Dist_cover.t ->
+  int ->
+  Maintenance.delete_stats

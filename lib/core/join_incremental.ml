@@ -1,0 +1,27 @@
+(* The EDBT'04 algorithm for connecting partition covers (Section 3.3,
+   Fig. 2): iterate over the cross-partition links; for a link u -> v, the
+   target v becomes the center of all newly created connections, so v is
+   added to Lout of u and all current ancestors of u, and to Lin of all
+   current descendants of v.  Ancestors/descendants are computed against the
+   cover built so far, so later links see the connections added by earlier
+   ones. *)
+
+module Cover = Hopi_twohop.Cover
+module Ihs = Hopi_util.Int_hashset
+
+type stats = { links_processed : int; entries_added : int }
+
+let join cover (links : (int * int) list) =
+  let before = Cover.size cover in
+  let n = ref 0 in
+  List.iter
+    (fun (u, v) ->
+      incr n;
+      Cover.add_node cover u;
+      Cover.add_node cover v;
+      let ancestors = Cover.ancestors cover u in
+      let descendants = Cover.descendants cover v in
+      Ihs.iter (fun a -> Cover.add_out cover ~node:a ~center:v) ancestors;
+      Ihs.iter (fun d -> Cover.add_in cover ~node:d ~center:v) descendants)
+    links;
+  { links_processed = !n; entries_added = Cover.size cover - before }

@@ -1,0 +1,10 @@
+(** The EDBT'04 incremental algorithm for joining partition covers
+    (Section 3.3): process cross-partition links one by one, using each link
+    target as the center of all connections the link creates.  Also reused
+    verbatim for single-edge insertion during maintenance (Section 6.1). *)
+
+type stats = { links_processed : int; entries_added : int }
+
+val join : Hopi_twohop.Cover.t -> (int * int) list -> stats
+(** Mutates the cover (the component-wise union of all partition covers)
+    in place. *)

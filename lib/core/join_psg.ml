@@ -1,0 +1,199 @@
+module Cover = Hopi_twohop.Cover
+module Ihs = Hopi_util.Int_hashset
+module Union_find = Hopi_util.Union_find
+module Digraph = Hopi_graph.Digraph
+module Traversal = Hopi_graph.Traversal
+module Closure = Hopi_graph.Closure
+module Int_set = Hopi_util.Int_set
+module Partitioning = Hopi_collection.Partitioning
+module Psg = Hopi_collection.Psg
+
+type strategy = Bfs | Partitioned of int
+
+type stats = {
+  psg_nodes : int;
+  psg_edges : int;
+  psg_partitions : int;
+  entries_added : int;
+}
+
+(* H̄out as a table: link source -> set of link targets it reaches in the
+   PSG (the source itself excluded; self-entries are implicit). *)
+
+let hbar_bfs (psg : Psg.t) =
+  let hbar = Hashtbl.create (Ihs.cardinal psg.Psg.sources) in
+  Ihs.iter
+    (fun s ->
+      let reached = Traversal.reachable psg.Psg.graph [ s ] in
+      let targets = Ihs.create () in
+      Ihs.iter
+        (fun x -> if Ihs.mem psg.Psg.targets x && x <> s then Ihs.add targets x)
+        reached;
+      if not (Ihs.is_empty targets) then Hashtbl.replace hbar s targets)
+    psg.Psg.sources;
+  (hbar, 1)
+
+(* The paper's recursion: partition the PSG so that no link edge crosses
+   partitions (grouping link edges with union-find guarantees the required
+   property: every cross-partition PSG edge is a within-element-partition
+   connection, i.e. goes from a link target to a link source), compute
+   partial H̄ covers per PSG partition from materialised closures, and
+   propagate along cross edges until a fixpoint. *)
+let hbar_partitioned (psg : Psg.t) ~max_connections =
+  let uf = Union_find.create () in
+  Digraph.iter_nodes psg.Psg.graph (fun v -> ignore (Union_find.find uf v));
+  List.iter (fun (s, t) -> Union_find.union uf s t) psg.Psg.link_edges;
+  (* greedily pack link-edge components into chunks within the closure
+     budget; a component is atomic *)
+  let components =
+    Hashtbl.fold (fun _ members acc -> members :: acc) (Union_find.classes uf) []
+    |> List.map (List.sort compare)
+    |> List.sort compare
+  in
+  let chunk_of = Hashtbl.create 64 in
+  let n_chunks = ref 0 in
+  let current = ref [] and current_graph = ref (Digraph.create ()) in
+  let flush_chunk () =
+    if !current <> [] then begin
+      List.iter (fun v -> Hashtbl.replace chunk_of v !n_chunks) !current;
+      incr n_chunks;
+      current := [];
+      current_graph := Digraph.create ()
+    end
+  in
+  let add_members g members =
+    List.iter
+      (fun v ->
+        Digraph.add_node g v;
+        Digraph.iter_succ psg.Psg.graph v (fun w ->
+            if Digraph.mem_node g w then Digraph.add_edge g v w);
+        Digraph.iter_pred psg.Psg.graph v (fun u ->
+            if Digraph.mem_node g u then Digraph.add_edge g u v))
+      members
+  in
+  List.iter
+    (fun members ->
+      add_members !current_graph members;
+      if
+        !current <> []
+        && Closure.count_connections !current_graph > max_connections
+      then begin
+        (* roll back, close the chunk, start fresh with this component *)
+        List.iter (fun v -> Digraph.remove_node !current_graph v) members;
+        flush_chunk ();
+        add_members !current_graph members
+      end;
+      current := members @ !current)
+    components;
+  flush_chunk ();
+  (* per-chunk closures *)
+  let chunk_members = Array.make (max !n_chunks 1) [] in
+  Hashtbl.iter
+    (fun v ch -> chunk_members.(ch) <- v :: chunk_members.(ch))
+    chunk_of;
+  let chunk_closure =
+    Array.map
+      (fun members ->
+        let keep = Ihs.create () in
+        List.iter (fun v -> Ihs.add keep v) members;
+        Closure.compute (Digraph.induced_subgraph psg.Psg.graph keep))
+      chunk_members
+  in
+  (* initial H̄ within chunks *)
+  let hbar = Hashtbl.create (Ihs.cardinal psg.Psg.sources) in
+  let hbar_of s =
+    match Hashtbl.find_opt hbar s with
+    | Some set -> set
+    | None ->
+      let set = Ihs.create () in
+      Hashtbl.add hbar s set;
+      set
+  in
+  Ihs.iter
+    (fun s ->
+      let clo = chunk_closure.(Hashtbl.find chunk_of s) in
+      let set = hbar_of s in
+      Int_set.iter
+        (fun x -> if x <> s && Ihs.mem psg.Psg.targets x then Ihs.add set x)
+        (Closure.succs clo s))
+    psg.Psg.sources;
+  (* cross-chunk edges: all go target -> source by construction *)
+  let cross = ref [] in
+  Digraph.iter_edges psg.Psg.graph (fun x y ->
+      if Hashtbl.find chunk_of x <> Hashtbl.find chunk_of y then begin
+        assert (Ihs.mem psg.Psg.targets x && Ihs.mem psg.Psg.sources y);
+        cross := (x, y) :: !cross
+      end);
+  (* link-source ancestors of a target within its chunk *)
+  let chunk_source_ancestors t =
+    let clo = chunk_closure.(Hashtbl.find chunk_of t) in
+    Int_set.filter (fun a -> Ihs.mem psg.Psg.sources a) (Closure.preds clo t)
+  in
+  let anc_cache = Hashtbl.create 64 in
+  let ancestors_of t =
+    match Hashtbl.find_opt anc_cache t with
+    | Some a -> a
+    | None ->
+      let a = chunk_source_ancestors t in
+      Hashtbl.add anc_cache t a;
+      a
+  in
+  (* fixpoint propagation: H̄out(a) ∪= H̄out(s) ∪ ({s} ∩ targets) for each
+     cross edge (t, s) and each source ancestor a of t (cycles across chunks
+     make a single topological pass insufficient) *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (t, s) ->
+        let from_s = Hashtbl.find_opt hbar s in
+        let s_is_target = Ihs.mem psg.Psg.targets s in
+        Int_set.iter
+          (fun a ->
+            let set = hbar_of a in
+            let before = Ihs.cardinal set in
+            (match from_s with
+             | Some src -> Ihs.iter (fun x -> if x <> a then Ihs.add set x) src
+             | None -> ());
+            if s_is_target && s <> a then Ihs.add set s;
+            if Ihs.cardinal set > before then changed := true)
+          (ancestors_of t))
+      !cross
+  done;
+  (hbar, !n_chunks)
+
+let join ?(strategy = Bfs) c (p : Partitioning.t) ~partition_cover ~final =
+  let before = Cover.size final in
+  let cover_of_element e = partition_cover (Partitioning.part_of_element p c e) in
+  let reaches t s =
+    Partitioning.part_of_element p c t = Partitioning.part_of_element p c s
+    && Cover.connected (cover_of_element t) t s
+  in
+  let psg = Psg.build c p ~reaches_within_partition:reaches in
+  let hbar, psg_partitions =
+    match strategy with
+    | Bfs -> hbar_bfs psg
+    | Partitioned max_connections -> hbar_partitioned psg ~max_connections
+  in
+  (* Ĥ: copy H̄out(s) to every ancestor of s in s's element partition — the
+     ancestors include s itself, which realises H̄ proper *)
+  Hashtbl.iter
+    (fun s targets ->
+      let ancestors = Cover.ancestors (cover_of_element s) s in
+      Ihs.iter
+        (fun a -> Ihs.iter (fun t -> Cover.add_out final ~node:a ~center:t) targets)
+        ancestors)
+    hbar;
+  (* Ĥ on the in-side: every partition-level descendant of a link target t
+     gets t in its Lin (H̄in(t) = {t} is implicit on t itself) *)
+  Ihs.iter
+    (fun t ->
+      let descendants = Cover.descendants (cover_of_element t) t in
+      Ihs.iter (fun d -> Cover.add_in final ~node:d ~center:t) descendants)
+    psg.Psg.targets;
+  {
+    psg_nodes = Digraph.n_nodes psg.Psg.graph;
+    psg_edges = Digraph.n_edges psg.Psg.graph;
+    psg_partitions;
+    entries_added = Cover.size final - before;
+  }

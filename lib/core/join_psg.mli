@@ -1,0 +1,44 @@
+(** The new, structurally recursive algorithm for joining partition covers
+    (Section 4.1, Theorem 1 / Corollary 1).
+
+    It builds the partition-level skeleton graph (PSG), computes the compact
+    cover [H̄] that uses cross-link *targets* as centers
+    ([H̄out(s) = {t | t link target, s ⇝ t in the PSG}], [H̄in(t) = {t}],
+    which is implicit), and then copies entries to partition-level ancestors
+    of link sources and descendants of link targets (the supplementary cover
+    [Ĥ]).  The union of the partition covers, [H̄] and [Ĥ] is a 2-hop cover
+    for the whole element graph.
+
+    Two strategies compute [H̄]:
+
+    - [Bfs] (default): one traversal per link source — the "adapted
+      transitive closure algorithm" of the paper, memory-light.
+    - [Partitioned]: the paper's recursion for PSGs whose transitive closure
+      exceeds memory — the PSG is split so that every cross-partition PSG
+      edge starts at a link target and ends at a link source (link edges are
+      grouped by union-find, so they can never cross), partial [H̄] covers
+      are computed per PSG-partition from materialised closures, and
+      connected by propagating [H̄out] along the cross edges to the
+      link-source ancestors of their targets. *)
+
+type strategy =
+  | Bfs
+  | Partitioned of int  (** closure-connection budget per PSG partition *)
+
+type stats = {
+  psg_nodes : int;
+  psg_edges : int;
+  psg_partitions : int;  (** 1 for [Bfs] *)
+  entries_added : int;
+}
+
+val join :
+  ?strategy:strategy ->
+  Hopi_collection.Collection.t ->
+  Hopi_collection.Partitioning.t ->
+  partition_cover:(int -> Hopi_twohop.Cover.t) ->
+  final:Hopi_twohop.Cover.t ->
+  stats
+(** [partition_cover p] must be the 2-hop cover of partition [p]; [final]
+    (already containing the union of the partition covers) receives the
+    [H̄]/[Ĥ] entries. *)

@@ -1,0 +1,95 @@
+module Collection = Hopi_collection.Collection
+module Skeleton = Hopi_collection.Skeleton
+module Closure = Hopi_graph.Closure
+module Digraph = Hopi_graph.Digraph
+module Cover = Hopi_twohop.Cover
+module Builder = Hopi_twohop.Builder
+module Ihs = Hopi_util.Int_hashset
+module Timer = Hopi_util.Timer
+
+type stats = {
+  skeleton_nodes : int;
+  skeleton_edges : int;
+  cover_entries : int;
+  build_seconds : float;
+}
+
+type t = {
+  c : Collection.t;
+  cover : Cover.t;
+  sources_by_doc : (int, int list) Hashtbl.t;
+  targets_by_doc : (int, int list) Hashtbl.t;
+  stats : stats;
+}
+
+let group_by_doc c nodes =
+  let h = Hashtbl.create 64 in
+  Ihs.iter
+    (fun e ->
+      let d = Collection.doc_of_element c e in
+      Hashtbl.replace h d (e :: Option.value ~default:[] (Hashtbl.find_opt h d)))
+    nodes;
+  h
+
+let build c =
+  let t0 = Timer.start () in
+  let skel = Skeleton.of_collection c in
+  let clo = Closure.compute skel.Skeleton.graph in
+  (* the hybrid only ever asks source ⇝ target, so the cover only needs to
+     answer those pairs (the same observation as the paper's H̄ cover) *)
+  let pairs = ref [] in
+  Ihs.iter
+    (fun s ->
+      Hopi_util.Int_set.iter
+        (fun x -> if Ihs.mem skel.Skeleton.targets x then pairs := (s, x) :: !pairs)
+        (Closure.succs clo s))
+    skel.Skeleton.sources;
+  let cover, _ = Builder.build ~only_pairs:!pairs clo in
+  let stats =
+    {
+      skeleton_nodes = Digraph.n_nodes skel.Skeleton.graph;
+      skeleton_edges = Digraph.n_edges skel.Skeleton.graph;
+      cover_entries = Cover.size cover;
+      build_seconds = Timer.elapsed_s t0;
+    }
+  in
+  {
+    c;
+    cover;
+    sources_by_doc = group_by_doc c skel.Skeleton.sources;
+    targets_by_doc = group_by_doc c skel.Skeleton.targets;
+    stats;
+  }
+
+let stats t = t.stats
+
+let size t = t.stats.cover_entries
+
+let connected t u v =
+  let c = t.c in
+  let known e =
+    match Collection.element_info c e with
+    | (_ : Collection.element_info) -> true
+    | exception Invalid_argument _ -> false
+  in
+  if not (known u && known v) then false
+  else begin
+    let du = Collection.doc_of_element c u and dv = Collection.doc_of_element c v in
+    (* tree-only path within one document *)
+    (du = dv && Skeleton.is_tree_ancestor c u v)
+    ||
+    (* tree-descend to a link source, skeleton hops, tree-descend to v *)
+    let sources = Option.value ~default:[] (Hashtbl.find_opt t.sources_by_doc du) in
+    let targets = Option.value ~default:[] (Hashtbl.find_opt t.targets_by_doc dv) in
+    let reachable_sources =
+      List.filter (fun s -> Skeleton.is_tree_ancestor c u s) sources
+    in
+    reachable_sources <> []
+    &&
+    let covering_targets =
+      List.filter (fun tg -> Skeleton.is_tree_ancestor c tg v) targets
+    in
+    List.exists
+      (fun s -> List.exists (fun tg -> Cover.connected t.cover s tg) covering_targets)
+      reachable_sources
+  end

@@ -1,0 +1,43 @@
+(** A FliX-style hybrid connection index (the paper's future work, citing
+    R. Schenkel, "FliX: A flexible framework for indexing complex XML
+    document collections", DataX 2004).
+
+    Instead of covering the whole element-level graph, the collection is
+    split into its natural tree fragments (the documents), indexed by
+    pre/post-order intervals, and a 2-hop cover is built only for the
+    *skeleton graph* — the elements that are sources or targets of links
+    (Definition 2 of the paper).  A connection test decomposes as
+
+    {v u ⇝ v  ⟺  (same document ∧ pre/post containment)
+             ∨  ∃ link source s ∈ doc(u), link target t ∈ doc(v):
+                  u →tree* s  ∧  s ⇝ t in S(X)  ∧  t →tree* v v}
+
+    which is exact because every cross-document (or link-using) path
+    alternates tree-descent segments with link jumps, and consecutive
+    jumps are connected by skeleton edges.
+
+    The skeleton cover is typically orders of magnitude smaller than the
+    full HOPI cover; the price is a per-query loop over the candidate
+    sources above [u] and targets above [v].  The [flix] bench target
+    quantifies the trade-off. *)
+
+type t
+
+type stats = {
+  skeleton_nodes : int;
+  skeleton_edges : int;
+  cover_entries : int;  (** entries of the skeleton cover *)
+  build_seconds : float;
+}
+
+val build : Hopi_collection.Collection.t -> t
+
+val stats : t -> stats
+
+val connected : t -> int -> int -> bool
+(** Reachability over the element-level graph, answered from tree
+    intervals plus the skeleton cover. *)
+
+val size : t -> int
+(** Cover entries of the skeleton cover (the tree intervals are free —
+    they reuse the collection's pre/post numbering). *)

@@ -1,0 +1,12 @@
+type t = { scc : Scc.t; dag : Digraph.t }
+
+let compute g =
+  let scc = Scc.compute g in
+  let dag = Digraph.create ~initial:scc.Scc.count () in
+  for c = 0 to scc.Scc.count - 1 do
+    Digraph.add_node dag c
+  done;
+  Digraph.iter_edges g (fun u v ->
+      let cu = Scc.component_of scc u and cv = Scc.component_of scc v in
+      if cu <> cv then Digraph.add_edge dag cu cv);
+  { scc; dag }

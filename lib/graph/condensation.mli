@@ -1,0 +1,8 @@
+(** Condensation: the DAG of strongly connected components. *)
+
+type t = {
+  scc : Scc.t;
+  dag : Digraph.t;  (** nodes are component ids *)
+}
+
+val compute : Digraph.t -> t

@@ -1,0 +1,59 @@
+(** Mutable directed graphs over integer node identifiers.
+
+    Node ids are arbitrary (not necessarily dense) non-negative integers —
+    element ids are global across an XML collection, and subgraphs (partitions,
+    skeleton graphs) reuse the original ids.  Edges are unlabelled and stored
+    at most once; parallel edges collapse. *)
+
+type t
+
+val create : ?initial:int -> unit -> t
+
+val add_node : t -> int -> unit
+(** Idempotent. *)
+
+val add_edge : t -> int -> int -> unit
+(** [add_edge g u v] adds nodes [u], [v] as needed; idempotent. *)
+
+val remove_edge : t -> int -> int -> unit
+
+val remove_node : t -> int -> unit
+(** Removes the node and all incident edges. *)
+
+val mem_node : t -> int -> bool
+
+val mem_edge : t -> int -> int -> bool
+
+val n_nodes : t -> int
+
+val n_edges : t -> int
+
+val succ : t -> int -> int list
+(** Successors; [] for unknown nodes. *)
+
+val pred : t -> int -> int list
+
+val iter_succ : t -> int -> (int -> unit) -> unit
+
+val iter_pred : t -> int -> (int -> unit) -> unit
+
+val out_degree : t -> int -> int
+
+val in_degree : t -> int -> int
+
+val iter_nodes : t -> (int -> unit) -> unit
+
+val iter_edges : t -> (int -> int -> unit) -> unit
+
+val nodes : t -> int list
+
+val edges : t -> (int * int) list
+
+val copy : t -> t
+
+val induced_subgraph : t -> Hopi_util.Int_hashset.t -> t
+(** Subgraph on the given nodes with all edges between them. *)
+
+val transpose : t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,39 @@
+type t = {
+  component : (int, int) Hashtbl.t;
+  members : int array array;
+  count : int;
+}
+
+let compute g =
+  let order = Traversal.dfs_postorder g in
+  let gt = Digraph.transpose g in
+  let component = Hashtbl.create (Digraph.n_nodes g) in
+  let members = ref [] in
+  let count = ref 0 in
+  (* Process nodes in reverse postorder on the transpose. *)
+  List.iter
+    (fun root ->
+      if not (Hashtbl.mem component root) then begin
+        let cid = !count in
+        incr count;
+        let comp = ref [] in
+        let stack = ref [ root ] in
+        Hashtbl.add component root cid;
+        while !stack <> [] do
+          match !stack with
+          | [] -> ()
+          | v :: rest ->
+            stack := rest;
+            comp := v :: !comp;
+            Digraph.iter_succ gt v (fun w ->
+                if not (Hashtbl.mem component w) then begin
+                  Hashtbl.add component w cid;
+                  stack := w :: !stack
+                end)
+        done;
+        members := Array.of_list !comp :: !members
+      end)
+    (List.rev order);
+  { component; members = Array.of_list (List.rev !members); count = !count }
+
+let component_of t v = Hashtbl.find t.component v

@@ -1,0 +1,12 @@
+(** Strongly connected components (Kosaraju's algorithm, iterative). *)
+
+type t = {
+  component : (int, int) Hashtbl.t;  (** node -> component id (0-based) *)
+  members : int array array;  (** component id -> member nodes *)
+  count : int;
+}
+
+val compute : Digraph.t -> t
+
+val component_of : t -> int -> int
+(** @raise Not_found for nodes not in the graph. *)

@@ -1,0 +1,17 @@
+(** The new closure-size-aware partitioner (Section 4.3): while a partition
+    grows, the transitive closure of its element-level graph is tracked, and
+    the partition is closed when the closure reaches the configured memory
+    budget (expressed in connections).  Compared to the node-count limit
+    this packs far more connections into each partition cover and reduces
+    cross-partition links, and it yields partitions of similar closure size
+    — the paper's Table 2 rows N10..N100 with limits of [x · 10^5]
+    connections. *)
+
+val partition :
+  ?seed:int ->
+  max_connections:int ->
+  Hopi_collection.Collection.t ->
+  Hopi_collection.Doc_graph.t ->
+  Hopi_collection.Partitioning.t
+(** A document whose own closure exceeds [max_connections] gets a partition
+    of its own. *)

@@ -1,0 +1,18 @@
+(** Shared greedy growth loop for document-level partitioners.  Not part of
+    the public API surface; used by {!Random_partitioner} and
+    {!Closure_partitioner}. *)
+
+val run :
+  ?seed:int ->
+  ?skip_budget:int ->
+  Hopi_collection.Collection.t ->
+  Hopi_collection.Doc_graph.t ->
+  fresh_partition:(unit -> unit) ->
+  admits:(int -> bool) ->
+  added:(int -> unit) ->
+  Hopi_collection.Partitioning.t
+(** [admits doc] is asked before each candidate document joins the current
+    partition; [added doc] reports acceptance (the seed document of each
+    partition is always accepted); [fresh_partition ()] announces that a new
+    partition was started.  [skip_budget] rejected candidates are tolerated
+    per partition before it is closed. *)

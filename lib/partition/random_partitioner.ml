@@ -1,0 +1,8 @@
+module Collection = Hopi_collection.Collection
+
+let partition ?seed ~max_elements c dg =
+  let current = ref 0 in
+  Grow.run ?seed c dg
+    ~fresh_partition:(fun () -> current := 0)
+    ~admits:(fun d -> !current + Collection.n_elements_of_doc c d <= max_elements)
+    ~added:(fun d -> current := !current + Collection.n_elements_of_doc c d)

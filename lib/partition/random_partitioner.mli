@@ -1,0 +1,13 @@
+(** The EDBT'04 baseline partitioner (Section 3.3 step 1): grow partitions
+    until the sum of node weights (element counts) reaches a conservative
+    limit chosen so that each partition's transitive closure can be computed
+    in memory.  The paper's Table 2 rows P5..P50 use this partitioner with
+    size limits of [x · 10^4] nodes. *)
+
+val partition :
+  ?seed:int ->
+  max_elements:int ->
+  Hopi_collection.Collection.t ->
+  Hopi_collection.Doc_graph.t ->
+  Hopi_collection.Partitioning.t
+(** A document larger than [max_elements] gets a partition of its own. *)

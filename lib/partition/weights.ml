@@ -1,0 +1,33 @@
+module Skeleton = Hopi_collection.Skeleton
+module Doc_graph = Hopi_collection.Doc_graph
+
+type scheme = Links | A_times_D | A_plus_D
+
+let scheme_name = function
+  | Links -> "links"
+  | A_times_D -> "A*D"
+  | A_plus_D -> "A+D"
+
+let all_schemes = [ Links; A_times_D; A_plus_D ]
+
+let link_weight ?(max_depth = 8) c scheme =
+  match scheme with
+  | Links -> fun _ -> 1.0
+  | A_times_D | A_plus_D ->
+    let skel = Skeleton.of_collection c in
+    let ann = Skeleton.annotate c skel ~max_depth in
+    let a u =
+      match Hashtbl.find_opt ann u with
+      | Some x -> float_of_int x.Skeleton.a
+      | None -> 1.0
+    in
+    let d v =
+      match Hashtbl.find_opt ann v with
+      | Some x -> float_of_int x.Skeleton.d
+      | None -> 1.0
+    in
+    if scheme = A_times_D then fun (u, v) -> a u *. d v
+    else fun (u, v) -> a u +. d v
+
+let doc_graph ?max_depth c scheme =
+  Doc_graph.of_collection ~link_weight:(link_weight ?max_depth c scheme) c

@@ -1,0 +1,32 @@
+(** Index-backed evaluation of path expressions.
+
+    Descendant steps ([//]) are answered with the HOPI cover — one
+    reachability test per candidate pair instead of a graph traversal —
+    and optionally refined with shortest-path distances from the
+    distance-aware cover for ranking.  Child steps use the element tree.
+
+    [eval_naive] evaluates the same query by BFS over the element graph and
+    is used as the correctness oracle and query-time baseline. *)
+
+type match_ = {
+  path : int list;  (** one element per step, in query order *)
+  score : float;
+}
+
+type options = {
+  ontology : Ontology.t;
+  similarity_threshold : float;  (** minimum tag similarity for [~] steps (0.5) *)
+  use_distance : bool;  (** multiply in a distance decay per [//] step *)
+  max_distance : int option;
+      (** limited-length paths (Section 5.1): a [//] step only matches
+          within this many edges *)
+  max_results : int;
+}
+
+val default_options : options
+
+val eval : ?options:options -> Hopi_core.Hopi.t -> Path_expr.t -> match_ list
+(** Ranked matches, best first. *)
+
+val eval_naive : ?options:options -> Hopi_core.Hopi.t -> Path_expr.t -> match_ list
+(** Same result set computed without the index (BFS per pair). *)

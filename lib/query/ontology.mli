@@ -1,0 +1,22 @@
+(** A miniature tag ontology with pairwise similarities, as used by the XXL
+    search engine for [~tag] conditions (e.g. the ontological similarity of
+    [book] to [monography] or [publication], Section 5.1). *)
+
+type t
+
+val empty : t
+
+val create : (string * string * float) list -> t
+(** Symmetric similarity pairs; similarity of a tag to itself is always 1. *)
+
+val add : t -> string -> string -> float -> t
+
+val similarity : t -> string -> string -> float
+(** In [0,1]; 0 when unrelated. *)
+
+val expand : t -> string -> threshold:float -> (string * float) list
+(** All tags with similarity ≥ threshold, including the tag itself (1.0),
+    best first. *)
+
+val publications : t
+(** A small built-in ontology for the bibliographic examples. *)

@@ -1,0 +1,51 @@
+(** Page-backed B+-trees over composite 32-bit integer keys.
+
+    A key is a triple [(a, b, c)] compared lexicographically, and is the
+    whole record — the trees are index-organized, exactly like the paper's
+    LIN/LOUT tables whose primary key is the concatenation of all columns
+    (Section 3.4).  The forward index on LIN is a tree keyed
+    [(id, inid, dist)]; the backward index re-keys the same rows as
+    [(inid, id, dist)].
+
+    Deletion rebalances: an under-full node (below a quarter of capacity)
+    merges with a sibling when the combined content fits and borrows a slot
+    otherwise; freed pages return to the pager's free list for reuse —
+    document deletions (Section 6) therefore do not leak space. *)
+
+type t
+
+type key = int * int * int
+
+val create : Pager.t -> t
+
+val root : t -> int
+(** Current root page id (changes when the root splits). *)
+
+val of_root : Pager.t -> root:int -> length:int -> t
+(** Re-attach to a tree stored earlier (see {!Catalog}). *)
+
+val insert : t -> key -> bool
+(** [true] when the key was new. *)
+
+val delete : t -> key -> bool
+(** [true] when the key was present. *)
+
+val mem : t -> key -> bool
+
+val length : t -> int
+
+val iter_from : t -> key -> (key -> bool) -> unit
+(** [iter_from t lo f] visits keys [>= lo] in order while [f] returns
+    [true]. *)
+
+val iter_prefix1 : t -> int -> (key -> unit) -> unit
+(** All keys with first component equal to the argument. *)
+
+val iter_prefix2 : t -> int -> int -> (key -> unit) -> unit
+
+val iter_all : t -> (key -> unit) -> unit
+
+val min_i32 : int
+(** Smallest storable component value. *)
+
+val max_i32 : int

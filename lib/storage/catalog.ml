@@ -1,0 +1,35 @@
+type entry = { root : int; length : int }
+
+type t = { with_dist : bool; trees : entry array }
+
+let magic = 0x484F5049 (* "HOPI" *)
+
+let version = 1
+
+let n_trees = 5
+
+let write pager t =
+  if Array.length t.trees <> n_trees then invalid_arg "Catalog.write: arity";
+  let page = Pager.read pager 0 in
+  Page.set_i32 page 0 magic;
+  Page.set_i32 page 4 version;
+  Page.set_i32 page 8 (if t.with_dist then 1 else 0);
+  Array.iteri
+    (fun i e ->
+      let off = 12 + (i * 8) in
+      Page.set_i32 page off e.root;
+      Page.set_i32 page (off + 4) e.length)
+    t.trees;
+  Pager.mark_dirty pager 0
+
+let read pager =
+  let page = Pager.read pager 0 in
+  if Page.get_i32 page 0 <> magic then failwith "Catalog.read: bad magic";
+  if Page.get_i32 page 4 <> version then failwith "Catalog.read: unsupported version";
+  let with_dist = Page.get_i32 page 8 <> 0 in
+  let trees =
+    Array.init n_trees (fun i ->
+        let off = 12 + (i * 8) in
+        { root = Page.get_i32 page off; length = Page.get_i32 page (off + 4) })
+  in
+  { with_dist; trees }

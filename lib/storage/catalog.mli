@@ -1,0 +1,21 @@
+(** The catalog page: page 0 of a persistent index file records the magic
+    number, the format version, the distance flag and the root/length of
+    every B+-tree, so that a {!Cover_store} can be reopened from disk. *)
+
+type entry = { root : int; length : int }
+
+type t = {
+  with_dist : bool;
+  trees : entry array;  (** fixed order, see {!Cover_store} *)
+}
+
+val magic : int
+
+val n_trees : int
+(** = 5: lin.fwd, lin.bwd, lout.fwd, lout.bwd, nodes. *)
+
+val write : Pager.t -> t -> unit
+(** Writes page 0 (which must already be allocated). *)
+
+val read : Pager.t -> t
+(** @raise Failure on a bad magic number or version. *)

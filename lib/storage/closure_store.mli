@@ -1,0 +1,24 @@
+(** The baseline HOPI is measured against (Section 7.2): the materialised
+    reflexive-transitive closure stored as an index-organized table with a
+    forward and a backward index — four integers per connection, exactly the
+    paper's accounting of 1,379,969,480 integers for the DBLP closure.
+
+    Queries are single index probes (faster than the cover's
+    merge-intersection); the price is the quadratic-ish space. *)
+
+type t
+
+val create : Pager.t -> t
+
+val load : t -> Hopi_graph.Closure.t -> unit
+
+val connected : t -> int -> int -> bool
+
+val descendants : t -> int -> Hopi_util.Int_hashset.t
+
+val ancestors : t -> int -> Hopi_util.Int_hashset.t
+
+val n_connections : t -> int
+
+val stored_integers : t -> int
+(** 4 per connection (row + backward index). *)

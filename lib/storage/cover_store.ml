@@ -1,0 +1,162 @@
+module Ihs = Hopi_util.Int_hashset
+module Cover = Hopi_twohop.Cover
+module Dist_cover = Hopi_twohop.Dist_cover
+
+type t = {
+  pgr : Pager.t;
+  lin : Table.t;
+  lout : Table.t;
+  nodes : Btree.t;  (* registry: (id, 0, 0) *)
+  mutable with_dist : bool;
+}
+
+let create pgr =
+  (* page 0 is the catalog *)
+  let catalog_page = Pager.alloc pgr in
+  assert (catalog_page = 0);
+  { pgr; lin = Table.create pgr; lout = Table.create pgr; nodes = Btree.create pgr;
+    with_dist = false }
+
+let save t =
+  let entry tree =
+    { Catalog.root = Btree.root tree; length = Btree.length tree }
+  in
+  let lin_fwd, lin_bwd = Table.trees t.lin in
+  let lout_fwd, lout_bwd = Table.trees t.lout in
+  Catalog.write t.pgr
+    {
+      Catalog.with_dist = t.with_dist;
+      trees = [| entry lin_fwd; entry lin_bwd; entry lout_fwd; entry lout_bwd;
+                 entry t.nodes |];
+    };
+  Pager.flush t.pgr
+
+let open_pager pgr =
+  let cat = Catalog.read pgr in
+  let tree i =
+    let e = cat.Catalog.trees.(i) in
+    Btree.of_root pgr ~root:e.Catalog.root ~length:e.Catalog.length
+  in
+  {
+    pgr;
+    lin = Table.of_trees ~fwd:(tree 0) ~bwd:(tree 1);
+    lout = Table.of_trees ~fwd:(tree 2) ~bwd:(tree 3);
+    nodes = tree 4;
+    with_dist = cat.Catalog.with_dist;
+  }
+
+let pager t = t.pgr
+
+let add_node t v = ignore (Btree.insert t.nodes (v, 0, 0))
+
+let mem_node t v = Btree.mem t.nodes (v, 0, 0)
+
+let insert_in t ~node ~center ~dist =
+  if node <> center then begin
+    add_node t node;
+    ignore (Table.insert t.lin ~id:node ~label:center ~dist);
+    if dist > 0 then t.with_dist <- true
+  end
+
+let insert_out t ~node ~center ~dist =
+  if node <> center then begin
+    add_node t node;
+    ignore (Table.insert t.lout ~id:node ~label:center ~dist);
+    if dist > 0 then t.with_dist <- true
+  end
+
+let load_cover t cover =
+  Cover.iter_nodes cover (fun v ->
+      add_node t v;
+      Cover.iter_lin cover v (fun w -> insert_in t ~node:v ~center:w ~dist:0);
+      Cover.iter_lout cover v (fun w -> insert_out t ~node:v ~center:w ~dist:0))
+
+let load_dist_cover t cover =
+  Dist_cover.iter_nodes cover (fun v ->
+      add_node t v;
+      Dist_cover.iter_lin cover v (fun w d -> insert_in t ~node:v ~center:w ~dist:d);
+      Dist_cover.iter_lout cover v (fun w d -> insert_out t ~node:v ~center:w ~dist:d))
+
+let remove_node t v =
+  ignore (Table.delete_all_of_id t.lin v);
+  ignore (Table.delete_all_of_id t.lout v);
+  ignore (Btree.delete t.nodes (v, 0, 0))
+
+let remove_label t w =
+  ignore (Table.delete_all_of_label t.lin w);
+  ignore (Table.delete_all_of_label t.lout w)
+
+(* Merge-intersection of LOUT(u) and LIN(v) rows (both scans are ordered by
+   label), exactly the paper's join on LOUT.OUTID = LIN.INID. *)
+let merge_min t u v =
+  let out_rows = ref [] and in_rows = ref [] in
+  Table.iter_by_id t.lout u (fun ~label ~dist -> out_rows := (label, dist) :: !out_rows);
+  Table.iter_by_id t.lin v (fun ~label ~dist -> in_rows := (label, dist) :: !in_rows);
+  let rec merge best xs ys =
+    match (xs, ys) with
+    | [], _ | _, [] -> best
+    | (wx, dx) :: xs', (wy, dy) :: ys' ->
+      if wx < wy then merge best xs' ys
+      else if wy < wx then merge best xs ys'
+      else begin
+        let d = dx + dy in
+        let best = match best with Some b when b <= d -> Some b | _ -> Some d in
+        merge best xs' ys'
+      end
+  in
+  (* rows were accumulated in reverse (descending) order: re-reverse *)
+  merge None (List.rev !out_rows) (List.rev !in_rows)
+
+let min_distance t u v =
+  if not (mem_node t u && mem_node t v) then None
+  else if u = v then Some 0
+  else begin
+    let candidates =
+      List.filter_map Fun.id
+        [
+          (* compensating queries for the implicit self-entries *)
+          Table.find_dist t.lout ~id:u ~label:v;  (* center w = v *)
+          Table.find_dist t.lin ~id:v ~label:u;  (* center w = u *)
+          merge_min t u v;
+        ]
+    in
+    match candidates with
+    | [] -> None
+    | ds -> Some (List.fold_left min max_int ds)
+  end
+
+let connected t u v = min_distance t u v <> None
+
+let descendants t u =
+  let acc = Ihs.create () in
+  if mem_node t u then begin
+    Ihs.add acc u;
+    let via_center w =
+      Ihs.add acc w;
+      Table.iter_by_label t.lin w (fun ~id ~dist:_ -> Ihs.add acc id)
+    in
+    via_center u;
+    Table.iter_by_id t.lout u (fun ~label ~dist:_ -> via_center label)
+  end;
+  acc
+
+let ancestors t v =
+  let acc = Ihs.create () in
+  if mem_node t v then begin
+    Ihs.add acc v;
+    let via_center w =
+      Ihs.add acc w;
+      Table.iter_by_label t.lout w (fun ~id ~dist:_ -> Ihs.add acc id)
+    in
+    via_center v;
+    Table.iter_by_id t.lin v (fun ~label ~dist:_ -> via_center label)
+  end;
+  acc
+
+let n_entries t = Table.length t.lin + Table.length t.lout
+
+let stored_integers t =
+  let per_entry = if t.with_dist then 6 else 4 in
+  per_entry * n_entries t
+
+let n_nodes t = Btree.length t.nodes

@@ -1,0 +1,74 @@
+(** A 2-hop cover persisted in LIN/LOUT tables, with the paper's SQL
+    statements expressed as index operations (Sections 3.4 and 5.1).
+
+    Reachability:
+    {v SELECT COUNT( * ) FROM LIN, LOUT
+       WHERE LOUT.ID = :u AND LIN.ID = :v AND LOUT.OUTID = LIN.INID v}
+    is a merge-intersection of two forward-index range scans, plus the
+    "simple additional queries" compensating for the omitted self-entries.
+
+    Distance:
+    {v SELECT MIN(LOUT.DIST + LIN.DIST) FROM LIN, LOUT WHERE ... v}
+    is the same merge keeping the minimum sum. *)
+
+type t
+
+val create : Pager.t -> t
+(** The pager must be fresh: page 0 is reserved for the {!Catalog}. *)
+
+val pager : t -> Pager.t
+
+val save : t -> unit
+(** Write the catalog and flush all dirty pages; after [save] the page file
+    can be reopened with {!open_pager}. *)
+
+val open_pager : Pager.t -> t
+(** Re-attach to a store saved earlier (e.g. a pager from
+    {!Pager.open_existing}).  The pager's free-page list is not persisted,
+    so pages freed before the save are not reused after reopening (they are
+    reclaimed by the next offline rebuild).  @raise Failure on a bad
+    catalog. *)
+
+(** {1 Loading} *)
+
+val load_cover : t -> Hopi_twohop.Cover.t -> unit
+(** Store a plain cover (all distances 0). *)
+
+val load_dist_cover : t -> Hopi_twohop.Dist_cover.t -> unit
+
+(** {1 Row-level maintenance} *)
+
+val add_node : t -> int -> unit
+
+val remove_node : t -> int -> unit
+(** Drops the node's rows in both tables (but not rows of other nodes that
+    name it as a label — use {!remove_label} for that). *)
+
+val remove_label : t -> int -> unit
+
+val insert_in : t -> node:int -> center:int -> dist:int -> unit
+
+val insert_out : t -> node:int -> center:int -> dist:int -> unit
+
+(** {1 Queries} *)
+
+val mem_node : t -> int -> bool
+
+val connected : t -> int -> int -> bool
+
+val min_distance : t -> int -> int -> int option
+
+val descendants : t -> int -> Hopi_util.Int_hashset.t
+
+val ancestors : t -> int -> Hopi_util.Int_hashset.t
+
+(** {1 Statistics} *)
+
+val n_entries : t -> int
+(** Label entries across LIN and LOUT (the paper's cover size |L|). *)
+
+val stored_integers : t -> int
+(** Integers kept on pages: 2 per entry per direction ⇒ 4·entries without
+    distances, 6·entries with (cf. the paper's 5,159,720 number). *)
+
+val n_nodes : t -> int

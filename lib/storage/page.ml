@@ -1,0 +1,20 @@
+let size = 4096
+
+type t = Bytes.t
+
+let create () = Bytes.make size '\000'
+
+let get_u8 = Bytes.get_uint8
+
+let set_u8 = Bytes.set_uint8
+
+let get_u16 = Bytes.get_uint16_le
+
+let set_u16 = Bytes.set_uint16_le
+
+let get_i32 p off = Int32.to_int (Bytes.get_int32_le p off)
+
+let set_i32 p off v =
+  if v > Int32.to_int Int32.max_int || v < Int32.to_int Int32.min_int then
+    invalid_arg (Printf.sprintf "Page.set_i32: %d out of 32-bit range" v);
+  Bytes.set_int32_le p off (Int32.of_int v)

@@ -1,0 +1,26 @@
+(** Fixed-size pages with little-endian integer accessors.
+
+    The storage engine replays the paper's database-backed design (Oracle
+    index-organized tables, Section 3.4) with its own page/B+-tree stack;
+    this module is the byte-level layer. *)
+
+val size : int
+(** Page size in bytes (4096). *)
+
+type t = Bytes.t
+
+val create : unit -> t
+
+val get_u8 : t -> int -> int
+
+val set_u8 : t -> int -> int -> unit
+
+val get_u16 : t -> int -> int
+
+val set_u16 : t -> int -> int -> unit
+
+val get_i32 : t -> int -> int
+(** Signed 32-bit little-endian. *)
+
+val set_i32 : t -> int -> int -> unit
+(** @raise Invalid_argument when the value exceeds 32-bit range. *)

@@ -1,0 +1,217 @@
+type backend = Memory | File of string
+
+type slot = {
+  page : Page.t;
+  mutable dirty : bool;
+  mutable stamp : int;
+  mutable pins : int;
+}
+
+type t = {
+  pool_pages : int;
+  cache : (int, slot) Hashtbl.t;
+  (* Memory backend stores evicted pages here; File backend writes them to fd *)
+  store : (int, Page.t) Hashtbl.t;
+  fd : Unix.file_descr option;
+  mutable next_page : int;
+  mutable free_list : int list;
+  mutable clock : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable evictions : int;
+  mutable disk_reads : int;
+  mutable disk_writes : int;
+}
+
+let create ?(pool_pages = 256) backend =
+  let fd =
+    match backend with
+    | Memory -> None
+    | File path ->
+      Some (Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o600)
+  in
+  {
+    pool_pages = max pool_pages 8;
+    cache = Hashtbl.create 64;
+    store = Hashtbl.create 64;
+    fd;
+    next_page = 0;
+    free_list = [];
+    clock = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    evictions = 0;
+    disk_reads = 0;
+    disk_writes = 0;
+  }
+
+let open_existing ?(pool_pages = 256) path =
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o600 in
+  let size = (Unix.fstat fd).Unix.st_size in
+  {
+    pool_pages = max pool_pages 8;
+    cache = Hashtbl.create 64;
+    store = Hashtbl.create 64;
+    fd = Some fd;
+    next_page = (size + Page.size - 1) / Page.size;
+    free_list = [];
+    clock = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    evictions = 0;
+    disk_reads = 0;
+    disk_writes = 0;
+  }
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let write_back t id page =
+  t.disk_writes <- t.disk_writes + 1;
+  match t.fd with
+  | None -> Hashtbl.replace t.store id (Bytes.copy page)
+  | Some fd ->
+    ignore (Unix.lseek fd (id * Page.size) Unix.SEEK_SET);
+    let n = Unix.write fd page 0 Page.size in
+    assert (n = Page.size)
+
+let read_from_store t id =
+  t.disk_reads <- t.disk_reads + 1;
+  match t.fd with
+  | None -> (
+    match Hashtbl.find_opt t.store id with
+    | Some p -> Bytes.copy p
+    | None -> Page.create ())
+  | Some fd ->
+    let page = Page.create () in
+    ignore (Unix.lseek fd (id * Page.size) Unix.SEEK_SET);
+    let rec fill off =
+      if off < Page.size then begin
+        let n = Unix.read fd page off (Page.size - off) in
+        if n = 0 then () (* sparse page never written: zeros *)
+        else fill (off + n)
+      end
+    in
+    fill 0;
+    page
+
+let evict_one t =
+  (* LRU by stamp, skipping pinned slots; if everything is pinned the pool
+     temporarily grows instead of evicting *)
+  let victim = ref None in
+  Hashtbl.iter
+    (fun id slot ->
+      if slot.pins = 0 then
+        match !victim with
+        | Some (_, s) when s.stamp <= slot.stamp -> ()
+        | _ -> victim := Some (id, slot))
+    t.cache;
+  match !victim with
+  | None -> ()
+  | Some (id, slot) ->
+    if slot.dirty then write_back t id slot.page;
+    Hashtbl.remove t.cache id;
+    t.evictions <- t.evictions + 1
+
+let cache_insert t id page =
+  if Hashtbl.length t.cache >= t.pool_pages then evict_one t;
+  let slot = { page; dirty = false; stamp = tick t; pins = 0 } in
+  Hashtbl.replace t.cache id slot;
+  slot
+
+let alloc t =
+  match t.free_list with
+  | id :: rest ->
+    t.free_list <- rest;
+    (* recycle: present a zeroed page *)
+    (match Hashtbl.find_opt t.cache id with
+     | Some slot ->
+       Bytes.fill slot.page 0 (Bytes.length slot.page) '\000';
+       slot.dirty <- true;
+       slot.stamp <- tick t
+     | None ->
+       let slot = cache_insert t id (Page.create ()) in
+       slot.dirty <- true);
+    id
+  | [] ->
+    let id = t.next_page in
+    t.next_page <- t.next_page + 1;
+    let slot = cache_insert t id (Page.create ()) in
+    slot.dirty <- true;
+    id
+
+let free t id =
+  if id < 0 || id >= t.next_page then invalid_arg "Pager.free: bad page id";
+  t.free_list <- id :: t.free_list
+
+let n_pages t = t.next_page
+
+let slot_of t id =
+  if id < 0 || id >= t.next_page then
+    invalid_arg (Printf.sprintf "Pager.read: page %d out of [0,%d)" id t.next_page);
+  match Hashtbl.find_opt t.cache id with
+  | Some slot ->
+    t.cache_hits <- t.cache_hits + 1;
+    slot.stamp <- tick t;
+    slot
+  | None ->
+    t.cache_misses <- t.cache_misses + 1;
+    let page = read_from_store t id in
+    cache_insert t id page
+
+let read t id = (slot_of t id).page
+
+let pin t id =
+  let slot = slot_of t id in
+  slot.pins <- slot.pins + 1;
+  slot.page
+
+let unpin t id =
+  match Hashtbl.find_opt t.cache id with
+  | Some slot when slot.pins > 0 -> slot.pins <- slot.pins - 1
+  | Some _ -> invalid_arg "Pager.unpin: page not pinned"
+  | None -> invalid_arg "Pager.unpin: page not resident"
+
+let mark_dirty t id =
+  match Hashtbl.find_opt t.cache id with
+  | Some slot -> slot.dirty <- true
+  | None -> invalid_arg "Pager.mark_dirty: page not resident"
+
+let flush t =
+  Hashtbl.iter
+    (fun id slot ->
+      if slot.dirty then begin
+        write_back t id slot.page;
+        slot.dirty <- false
+      end)
+    t.cache
+
+type stats = {
+  pages : int;
+  free_pages : int;
+  cache_hits : int;
+  cache_misses : int;
+  evictions : int;
+  disk_reads : int;
+  disk_writes : int;
+}
+
+let stats t =
+  {
+    pages = t.next_page;
+    free_pages = List.length t.free_list;
+    cache_hits = t.cache_hits;
+    cache_misses = t.cache_misses;
+    evictions = t.evictions;
+    disk_reads = t.disk_reads;
+    disk_writes = t.disk_writes;
+  }
+
+let close t =
+  flush t;
+  match t.fd with
+  | Some fd -> Unix.close fd
+  | None -> ()
+
+let size_bytes t = t.next_page * Page.size

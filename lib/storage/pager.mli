@@ -1,0 +1,63 @@
+(** Page manager with a bounded buffer pool.
+
+    Pages live either fully in memory or in a backing file, with an
+    LRU-evicted write-back cache in front — enough machinery to make the
+    index behave like the database-resident structure of the paper and to
+    account for page I/O in benchmarks. *)
+
+type backend =
+  | Memory  (** all pages stay in the process (still bounded-cache-accounted) *)
+  | File of string  (** pages are spilled to this file *)
+
+type t
+
+type stats = {
+  pages : int;  (** pages allocated *)
+  free_pages : int;  (** currently on the free list *)
+  cache_hits : int;
+  cache_misses : int;
+  evictions : int;
+  disk_reads : int;
+  disk_writes : int;
+}
+
+val create : ?pool_pages:int -> backend -> t
+(** [pool_pages] (default 256) bounds the buffer pool.  A [File] backend is
+    truncated; use {!open_existing} to reopen a page file. *)
+
+val open_existing : ?pool_pages:int -> string -> t
+(** Open a page file written earlier; the page count is derived from the
+    file size.  @raise Sys_error on missing files. *)
+
+val alloc : t -> int
+(** Allocate a zeroed page (reusing freed pages first); returns its id. *)
+
+val free : t -> int -> unit
+(** Return a page to the free list for reuse by later {!alloc}s. *)
+
+val n_pages : t -> int
+
+val read : t -> int -> Page.t
+(** Fetch a page (through the cache).  The caller may mutate the returned
+    bytes but must call {!mark_dirty} afterwards, and must not touch the
+    pager (alloc/read of other pages) between mutation and {!mark_dirty} —
+    use {!pin} when holding a page across other pager calls. *)
+
+val pin : t -> int -> Page.t
+(** Like {!read}, but the page cannot be evicted until {!unpin}.  Pins
+    nest. *)
+
+val unpin : t -> int -> unit
+
+val mark_dirty : t -> int -> unit
+
+val flush : t -> unit
+(** Write back all dirty pages. *)
+
+val stats : t -> stats
+
+val close : t -> unit
+(** Flush and release the backing file (if any). *)
+
+val size_bytes : t -> int
+(** Total size of the page store. *)

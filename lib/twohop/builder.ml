@@ -1,0 +1,175 @@
+module Int_set = Hopi_util.Int_set
+module Ihs = Hopi_util.Int_hashset
+module Heap = Hopi_util.Heap
+module Closure = Hopi_graph.Closure
+
+type stats = {
+  iterations : int;
+  recomputations : int;
+  reinserts : int;
+}
+
+(* Uncovered connections from [u] into [cout], iterating whichever side is
+   smaller: the uncovered successors of [u] (hash set) or [cout] itself
+   (sorted array with O(1)-amortised membership via the uncovered set). *)
+let uncovered_into uncov cout u =
+  let vs = ref [] in
+  if Uncovered.succ_count uncov u <= Int_set.cardinal cout then
+    Uncovered.iter_succ uncov u (fun v -> if Int_set.mem v cout then vs := v :: !vs)
+  else
+    Int_set.iter (fun v -> if Uncovered.mem uncov u v then vs := v :: !vs) cout;
+  !vs
+
+(* Left side of [w]'s center graph: ancestors of [w] that still have
+   uncovered connections — iterate whichever is smaller, the ancestor set or
+   the set of nodes with uncovered out-edges. *)
+let live_ins uncov cin =
+  if Uncovered.source_count uncov <= Int_set.cardinal cin then begin
+    let ins = ref [] in
+    Uncovered.iter_sources uncov (fun u -> if Int_set.mem u cin then ins := u :: !ins);
+    Array.of_list !ins
+  end
+  else Int_set.to_array cin
+
+(* Cover every uncovered connection running through [w] (used for center
+   preselection): C'_in/C'_out are the ancestors/descendants of [w] that
+   actually have an uncovered connection through it. *)
+let cover_via_center cover uncov clo w =
+  let cin = Closure.preds clo w and cout = Closure.succs clo w in
+  let touched_targets = Ihs.create () in
+  let covered = ref 0 in
+  Array.iter
+    (fun u ->
+      let vs = ref (uncovered_into uncov cout u) in
+      if !vs <> [] then begin
+        Cover.add_out cover ~node:u ~center:w;
+        List.iter
+          (fun v ->
+            Uncovered.remove uncov u v;
+            incr covered;
+            Ihs.add touched_targets v)
+          !vs
+      end)
+    (live_ins uncov cin);
+  Ihs.iter (fun v -> Cover.add_in cover ~node:v ~center:w) touched_targets;
+  !covered
+
+(* Current densest subgraph of [w]'s center graph under the uncovered set. *)
+let densest_for uncov clo w =
+  let cin = Closure.preds clo w and cout = Closure.succs clo w in
+  Densest.run ~ins:(live_ins uncov cin) ~edges_of:(uncovered_into uncov cout)
+
+let apply_choice cover uncov w (r : Densest.result) =
+  let n_out = List.length r.Densest.c_out in
+  let c_out_set = Ihs.create ~initial:n_out () in
+  List.iter (fun v -> Ihs.add c_out_set v) r.Densest.c_out;
+  List.iter
+    (fun u ->
+      Cover.add_out cover ~node:u ~center:w;
+      let vs = ref [] in
+      if Uncovered.succ_count uncov u <= n_out then
+        Uncovered.iter_succ uncov u (fun v -> if Ihs.mem c_out_set v then vs := v :: !vs)
+      else
+        List.iter (fun v -> if Uncovered.mem uncov u v then vs := v :: !vs) r.Densest.c_out;
+      List.iter (fun v -> Uncovered.remove uncov u v) !vs)
+    r.Densest.c_in;
+  List.iter (fun v -> Cover.add_in cover ~node:v ~center:w) r.Densest.c_out
+
+let build ?(preselect_centers = []) ?only_pairs clo =
+  let cover = Cover.create ~initial:(Closure.n_nodes clo) () in
+  Closure.iter_nodes clo (fun v -> Cover.add_node cover v);
+  let uncov =
+    match only_pairs with
+    | None -> Uncovered.of_closure clo
+    | Some pairs -> Uncovered.of_pairs (List.filter (fun (u, v) -> Closure.mem clo u v) pairs)
+  in
+  let iterations = ref 0 and recomputations = ref 0 and reinserts = ref 0 in
+  (* Phase 1: preselected centers (cross-partition link targets). *)
+  let seen = Ihs.create () in
+  List.iter
+    (fun w ->
+      if Closure.mem clo w w && not (Ihs.mem seen w) then begin
+        Ihs.add seen w;
+        if cover_via_center cover uncov clo w > 0 then incr iterations
+      end)
+    preselect_centers;
+  (* Phase 2: greedy loop with lazily updated priorities.  Without a pair
+     restriction the initial priority of a node is the density of its
+     initial center graph — a complete bipartite graph, hence its own
+     densest subgraph.  With [only_pairs] the initial center graphs are
+     sparse, so the complete-bipartite formula overestimates wildly and
+     would make the lazy queue churn; compute the exact initial densities
+     instead. *)
+  let queue = Heap.create () in
+  Closure.iter_nodes clo (fun w ->
+      match only_pairs with
+      | None ->
+        let a = Int_set.cardinal (Closure.preds clo w) in
+        let d = Int_set.cardinal (Closure.succs clo w) in
+        if a + d > 0 then
+          Heap.push queue ~prio:(float_of_int (a * d) /. float_of_int (a + d)) w
+      | Some _ -> (
+        match densest_for uncov clo w with
+        | Some r -> Heap.push queue ~prio:r.Densest.density w
+        | None -> ()));
+  while not (Uncovered.is_empty uncov) do
+    match Heap.pop_max queue with
+    | None ->
+      (* Cannot happen: any uncovered (u,v) keeps v's center graph non-empty
+         and v is re-pushed after every use.  Guard anyway. *)
+      (match Uncovered.choose uncov with
+       | Some (u, v) ->
+         Cover.add_out cover ~node:u ~center:v;
+         Uncovered.remove uncov u v
+       | None -> ())
+    | Some (_, w) -> (
+      incr recomputations;
+      match densest_for uncov clo w with
+      | None -> () (* nothing uncovered through w anymore: drop it *)
+      | Some r ->
+        let next_best =
+          match Heap.peek_max queue with
+          | Some (p, _) -> p
+          | None -> neg_infinity
+        in
+        if r.Densest.density >= next_best then begin
+          apply_choice cover uncov w r;
+          incr iterations;
+          (* w may still cover more connections later *)
+          Heap.push queue ~prio:r.Densest.density w
+        end
+        else begin
+          incr reinserts;
+          Heap.push queue ~prio:r.Densest.density w
+        end)
+  done;
+  ( cover,
+    {
+      iterations = !iterations;
+      recomputations = !recomputations;
+      reinserts = !reinserts;
+    } )
+
+let build_eager clo =
+  let cover = Cover.create ~initial:(Closure.n_nodes clo) () in
+  Closure.iter_nodes clo (fun v -> Cover.add_node cover v);
+  let uncov = Uncovered.of_closure clo in
+  let iterations = ref 0 and recomputations = ref 0 in
+  while not (Uncovered.is_empty uncov) do
+    (* scan every node for its current densest subgraph *)
+    let best = ref None in
+    Closure.iter_nodes clo (fun w ->
+        incr recomputations;
+        match densest_for uncov clo w with
+        | None -> ()
+        | Some r -> (
+          match !best with
+          | Some (_, r') when r'.Densest.density >= r.Densest.density -> ()
+          | _ -> best := Some (w, r)));
+    match !best with
+    | None -> assert false (* uncovered non-empty implies a non-empty center graph *)
+    | Some (w, r) ->
+      apply_choice cover uncov w r;
+      incr iterations
+  done;
+  (cover, { iterations = !iterations; recomputations = !recomputations; reinserts = 0 })

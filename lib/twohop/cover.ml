@@ -1,0 +1,217 @@
+module Ihs = Hopi_util.Int_hashset
+module Int_set = Hopi_util.Int_set
+
+type t = {
+  lin : (int, Ihs.t) Hashtbl.t;
+  lout : (int, Ihs.t) Hashtbl.t;
+  (* backward indexes: center -> nodes labelled with it *)
+  lin_inv : (int, Ihs.t) Hashtbl.t;
+  lout_inv : (int, Ihs.t) Hashtbl.t;
+  mutable size : int;
+}
+
+let create ?(initial = 64) () =
+  {
+    lin = Hashtbl.create initial;
+    lout = Hashtbl.create initial;
+    lin_inv = Hashtbl.create initial;
+    lout_inv = Hashtbl.create initial;
+    size = 0;
+  }
+
+let bucket h k =
+  match Hashtbl.find_opt h k with
+  | Some s -> s
+  | None ->
+    let s = Ihs.create ~initial:4 () in
+    Hashtbl.add h k s;
+    s
+
+let add_node t v =
+  ignore (bucket t.lin v);
+  ignore (bucket t.lout v)
+
+let mem_node t v = Hashtbl.mem t.lin v
+
+let n_nodes t = Hashtbl.length t.lin
+
+let iter_nodes t f = Hashtbl.iter (fun v _ -> f v) t.lin
+
+let nodes t = Hashtbl.fold (fun v _ acc -> v :: acc) t.lin []
+
+let add_in t ~node ~center =
+  if node <> center then begin
+    add_node t node;
+    let s = bucket t.lin node in
+    if not (Ihs.mem s center) then begin
+      Ihs.add s center;
+      Ihs.add (bucket t.lin_inv center) node;
+      t.size <- t.size + 1
+    end
+  end
+
+let add_out t ~node ~center =
+  if node <> center then begin
+    add_node t node;
+    let s = bucket t.lout node in
+    if not (Ihs.mem s center) then begin
+      Ihs.add s center;
+      Ihs.add (bucket t.lout_inv center) node;
+      t.size <- t.size + 1
+    end
+  end
+
+let get h v =
+  match Hashtbl.find_opt h v with
+  | Some s -> s
+  | None -> Ihs.create ~initial:1 ()
+
+let lin t v = Ihs.to_int_set (get t.lin v)
+
+let lout t v = Ihs.to_int_set (get t.lout v)
+
+let iter_lin t v f = match Hashtbl.find_opt t.lin v with
+  | Some s -> Ihs.iter f s
+  | None -> ()
+
+let iter_lout t v f = match Hashtbl.find_opt t.lout v with
+  | Some s -> Ihs.iter f s
+  | None -> ()
+
+let in_labelled_with t w = get t.lin_inv w
+
+let out_labelled_with t w = get t.lout_inv w
+
+let inter_nonempty a b =
+  let small, large = if Ihs.cardinal a <= Ihs.cardinal b then (a, b) else (b, a) in
+  try
+    Ihs.iter (fun x -> if Ihs.mem large x then raise Exit) small;
+    false
+  with Exit -> true
+
+let connected t u v =
+  if not (mem_node t u && mem_node t v) then false
+  else if u = v then true
+  else begin
+    let ou = get t.lout u and iv = get t.lin v in
+    (* implicit self entries: u ∈ Lout(u), v ∈ Lin(v) *)
+    Ihs.mem ou v || Ihs.mem iv u || inter_nonempty ou iv
+  end
+
+let hop_center t u v =
+  if not (mem_node t u && mem_node t v) then None
+  else if u = v then Some u
+  else begin
+    let ou = get t.lout u and iv = get t.lin v in
+    if Ihs.mem ou v then Some v
+    else if Ihs.mem iv u then Some u
+    else begin
+      let small, large =
+        if Ihs.cardinal ou <= Ihs.cardinal iv then (ou, iv) else (iv, ou)
+      in
+      let found = ref None in
+      (try
+         Ihs.iter
+           (fun x ->
+             if Ihs.mem large x then begin
+               found := Some x;
+               raise Exit
+             end)
+           small
+       with Exit -> ());
+      !found
+    end
+  end
+
+let descendants t u =
+  let acc = Ihs.create () in
+  if mem_node t u then begin
+    Ihs.add acc u;
+    let via_center w =
+      (* center w itself is a descendant of u, plus all nodes carrying w in Lin *)
+      Ihs.add acc w;
+      Ihs.iter (fun v -> Ihs.add acc v) (get t.lin_inv w)
+    in
+    via_center u;
+    Ihs.iter via_center (get t.lout u)
+  end;
+  acc
+
+let ancestors t v =
+  let acc = Ihs.create () in
+  if mem_node t v then begin
+    Ihs.add acc v;
+    let via_center w =
+      Ihs.add acc w;
+      Ihs.iter (fun u -> Ihs.add acc u) (get t.lout_inv w)
+    in
+    via_center v;
+    Ihs.iter via_center (get t.lin v)
+  end;
+  acc
+
+let size t = t.size
+
+let union_into ~dst src =
+  Hashtbl.iter (fun v _ -> add_node dst v) src.lin;
+  Hashtbl.iter (fun v s -> Ihs.iter (fun w -> add_in dst ~node:v ~center:w) s) src.lin;
+  Hashtbl.iter (fun v s -> Ihs.iter (fun w -> add_out dst ~node:v ~center:w) s) src.lout
+
+let set_labels t fwd inv node set =
+  add_node t node;
+  let old = get fwd node in
+  Ihs.iter
+    (fun w ->
+      if not (Int_set.mem w set) then begin
+        Ihs.remove (bucket inv w) node;
+        t.size <- t.size - 1
+      end)
+    old;
+  Int_set.iter
+    (fun w ->
+      if w <> node && not (Ihs.mem old w) then begin
+        Ihs.add (bucket inv w) node;
+        t.size <- t.size + 1
+      end)
+    set;
+  let fresh = Ihs.create ~initial:(Int_set.cardinal set) () in
+  Int_set.iter (fun w -> if w <> node then Ihs.add fresh w) set;
+  Hashtbl.replace fwd node fresh
+
+let set_lin t node set = set_labels t t.lin t.lin_inv node set
+
+let set_lout t node set = set_labels t t.lout t.lout_inv node set
+
+let remove_node t v =
+  if mem_node t v then begin
+    set_lin t v Int_set.empty;
+    set_lout t v Int_set.empty;
+    (* entries naming v as a center *)
+    Ihs.iter
+      (fun n ->
+        let s = get t.lin n in
+        if Ihs.mem s v then begin
+          Ihs.remove s v;
+          t.size <- t.size - 1
+        end)
+      (get t.lin_inv v);
+    Ihs.iter
+      (fun n ->
+        let s = get t.lout n in
+        if Ihs.mem s v then begin
+          Ihs.remove s v;
+          t.size <- t.size - 1
+        end)
+      (get t.lout_inv v);
+    Hashtbl.remove t.lin_inv v;
+    Hashtbl.remove t.lout_inv v;
+    Hashtbl.remove t.lin v;
+    Hashtbl.remove t.lout v
+  end
+
+let copy t =
+  let c = create ~initial:(n_nodes t) () in
+  iter_nodes t (fun v -> add_node c v);
+  Hashtbl.iter (fun v s -> Ihs.iter (fun w -> add_in c ~node:v ~center:w) s) t.lin;
+  Hashtbl.iter (fun v s -> Ihs.iter (fun w -> add_out c ~node:v ~center:w) s) t.lout;
+  c

@@ -1,0 +1,71 @@
+(** Mutable 2-hop covers: per-node label sets [Lin]/[Lout] plus the inverted
+    (backward) indexes needed to enumerate ancestors and descendants — the
+    in-memory equivalent of the paper's LIN/LOUT tables with forward and
+    backward indexes (Section 3.4).
+
+    Following the paper, a node is {e never} stored in its own labels; the
+    query operations account for the implicit self-entries. *)
+
+type t
+
+val create : ?initial:int -> unit -> t
+
+val add_node : t -> int -> unit
+(** Register a node with empty labels (idempotent). *)
+
+val mem_node : t -> int -> bool
+
+val n_nodes : t -> int
+
+val iter_nodes : t -> (int -> unit) -> unit
+
+val nodes : t -> int list
+
+val add_in : t -> node:int -> center:int -> unit
+(** Add [center] to [Lin(node)]; self-entries are silently skipped. *)
+
+val add_out : t -> node:int -> center:int -> unit
+
+val lin : t -> int -> Hopi_util.Int_set.t
+(** Snapshot of [Lin(node)] (without the implicit self-entry). *)
+
+val lout : t -> int -> Hopi_util.Int_set.t
+
+val iter_lin : t -> int -> (int -> unit) -> unit
+
+val iter_lout : t -> int -> (int -> unit) -> unit
+
+val in_labelled_with : t -> int -> Hopi_util.Int_hashset.t
+(** [in_labelled_with t w] = nodes [v] with [w ∈ Lin(v)] — the backward
+    index on LIN.  The result must not be mutated by the caller. *)
+
+val out_labelled_with : t -> int -> Hopi_util.Int_hashset.t
+
+val connected : t -> int -> int -> bool
+(** [connected t u v] iff [(Lout(u) ∪ {u}) ∩ (Lin(v) ∪ {v}) ≠ ∅].
+    Reflexive: [connected t v v = true] for registered [v]. *)
+
+val hop_center : t -> int -> int -> int option
+(** A witness center for [connected], if any. *)
+
+val descendants : t -> int -> Hopi_util.Int_hashset.t
+(** All [v] with [connected t u v], including [u] itself.  Fresh set. *)
+
+val ancestors : t -> int -> Hopi_util.Int_hashset.t
+
+val size : t -> int
+(** Cover size |L| = Σ (|Lin(v)| + |Lout(v)|) — the paper's "entries". *)
+
+val union_into : dst:t -> t -> unit
+(** Component-wise union of label sets (used when joining partition covers). *)
+
+val set_lin : t -> int -> Hopi_util.Int_set.t -> unit
+(** Replace [Lin(node)] wholesale (deletion maintenance); keeps the backward
+    index consistent. *)
+
+val set_lout : t -> int -> Hopi_util.Int_set.t -> unit
+
+val remove_node : t -> int -> unit
+(** Drop the node's labels and all label entries naming it as a center. *)
+
+val copy : t -> t

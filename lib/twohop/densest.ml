@@ -1,0 +1,119 @@
+type result = {
+  density : float;
+  c_in : int list;
+  c_out : int list;
+  n_edges : int;
+}
+
+let run ~ins ~edges_of =
+  (* Index left nodes 0..ni-1 (only those with edges), right nodes after. *)
+  let left = ref [] and n_edges = ref 0 in
+  let right_index = Hashtbl.create 64 in
+  let right = ref [] in
+  let edges =
+    Array.to_list ins
+    |> List.filter_map (fun u ->
+           match edges_of u with
+           | [] -> None
+           | vs ->
+             left := u :: !left;
+             n_edges := !n_edges + List.length vs;
+             List.iter
+               (fun v ->
+                 if not (Hashtbl.mem right_index v) then begin
+                   Hashtbl.add right_index v (List.length !right);
+                   right := v :: !right
+                 end)
+               vs;
+             Some (u, vs))
+  in
+  if !n_edges = 0 then None
+  else begin
+    let left_arr = Array.of_list (List.rev !left) in
+    let right_arr = Array.of_list (List.rev !right) in
+    let ni = Array.length left_arr and no = Array.length right_arr in
+    let n = ni + no in
+    (* adjacency over combined indices: left i, right ni+j *)
+    let adj = Array.make n [] in
+    let deg = Array.make n 0 in
+    List.iteri
+      (fun i (_, vs) ->
+        List.iter
+          (fun v ->
+            let j = ni + Hashtbl.find right_index v in
+            adj.(i) <- j :: adj.(i);
+            adj.(j) <- i :: adj.(j);
+            deg.(i) <- deg.(i) + 1;
+            deg.(j) <- deg.(j) + 1)
+          vs)
+      edges;
+    (* min-degree peeling with a bucket queue (lazy entries) *)
+    let max_deg = Array.fold_left max 0 deg in
+    let buckets = Array.make (max_deg + 1) [] in
+    Array.iteri (fun v d -> buckets.(d) <- v :: buckets.(d)) deg;
+    let removed = Array.make n false in
+    let removal_order = Array.make n (-1) in
+    let cur_edges = ref !n_edges and cur_nodes = ref n in
+    let best_density = ref (float_of_int !n_edges /. float_of_int n) in
+    let best_k = ref 0 in
+    let min_bucket = ref 0 in
+    for k = 0 to n - 1 do
+      (* find a live min-degree node *)
+      let v = ref (-1) in
+      while !v = -1 do
+        (match buckets.(!min_bucket) with
+         | [] -> incr min_bucket
+         | x :: rest ->
+           buckets.(!min_bucket) <- rest;
+           if (not removed.(x)) && deg.(x) = !min_bucket then v := x);
+      done;
+      let v = !v in
+      removed.(v) <- true;
+      removal_order.(k) <- v;
+      cur_edges := !cur_edges - deg.(v);
+      decr cur_nodes;
+      List.iter
+        (fun w ->
+          if not removed.(w) then begin
+            deg.(w) <- deg.(w) - 1;
+            buckets.(deg.(w)) <- w :: buckets.(deg.(w));
+            if deg.(w) < !min_bucket then min_bucket := deg.(w)
+          end)
+        adj.(v);
+      if !cur_nodes > 0 then begin
+        let d = float_of_int !cur_edges /. float_of_int !cur_nodes in
+        if d > !best_density then begin
+          best_density := d;
+          best_k := k + 1
+        end
+      end
+    done;
+    (* the densest intermediate subgraph = nodes not among the first best_k
+       removals; recount its edges *)
+    let kept = Array.make n true in
+    for k = 0 to !best_k - 1 do
+      kept.(removal_order.(k)) <- false
+    done;
+    let c_in = ref [] and c_out = ref [] in
+    for i = 0 to ni - 1 do
+      if kept.(i) then c_in := left_arr.(i) :: !c_in
+    done;
+    for j = 0 to no - 1 do
+      if kept.(ni + j) then c_out := right_arr.(j) :: !c_out
+    done;
+    let kept_edges = ref 0 in
+    List.iteri
+      (fun i (_, vs) ->
+        if kept.(i) then
+          List.iter
+            (fun v -> if kept.(ni + Hashtbl.find right_index v) then incr kept_edges)
+            vs)
+      edges;
+    Some
+      {
+        density = !best_density;
+        c_in = !c_in;
+        c_out = !c_out;
+        n_edges = !kept_edges;
+      }
+  end

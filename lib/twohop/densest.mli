@@ -1,0 +1,19 @@
+(** Densest-subgraph 2-approximation on a center graph (Section 3.2).
+
+    The center graph of a node [w] is the undirected bipartite graph with a
+    left node for every ancestor [u ∈ Cin(w)], a right node for every
+    descendant [v ∈ Cout(w)], and an edge per uncovered connection [(u,v)].
+    The classic linear-time 2-approximation peels a minimum-degree node per
+    step and returns the densest intermediate subgraph. *)
+
+type result = {
+  density : float;  (** |E'| / |V'| of the returned subgraph *)
+  c_in : int list;  (** chosen subset [C'_in] *)
+  c_out : int list;  (** chosen subset [C'_out] *)
+  n_edges : int;  (** number of (uncovered) connections the choice covers *)
+}
+
+val run : ins:int array -> edges_of:(int -> int list) -> result option
+(** [run ~ins ~edges_of]: [edges_of u] lists the right endpoints of [u]'s
+    edges (with multiplicity ignored; duplicates must not occur).  Isolated
+    left nodes are allowed and skipped.  [None] iff there are no edges. *)

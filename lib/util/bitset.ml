@@ -1,0 +1,96 @@
+type t = { words : Bytes.t; capacity : int }
+
+let bits_per_word = 8
+
+let create n =
+  let nwords = (n + bits_per_word - 1) / bits_per_word in
+  { words = Bytes.make (max nwords 1) '\000'; capacity = n }
+
+let capacity t = t.capacity
+
+let check t i =
+  if i < 0 || i >= t.capacity then
+    invalid_arg (Printf.sprintf "Bitset: index %d out of [0,%d)" i t.capacity)
+
+let set t i =
+  check t i;
+  let w = i / 8 and b = i mod 8 in
+  Bytes.unsafe_set t.words w
+    (Char.chr (Char.code (Bytes.unsafe_get t.words w) lor (1 lsl b)))
+
+let unset t i =
+  check t i;
+  let w = i / 8 and b = i mod 8 in
+  Bytes.unsafe_set t.words w
+    (Char.chr (Char.code (Bytes.unsafe_get t.words w) land lnot (1 lsl b) land 0xff))
+
+let get t i =
+  check t i;
+  let w = i / 8 and b = i mod 8 in
+  Char.code (Bytes.unsafe_get t.words w) land (1 lsl b) <> 0
+
+let popcount_byte =
+  let tbl = Array.make 256 0 in
+  for i = 1 to 255 do
+    tbl.(i) <- tbl.(i lsr 1) + (i land 1)
+  done;
+  fun c -> tbl.(Char.code c)
+
+let cardinal t =
+  let n = ref 0 in
+  Bytes.iter (fun c -> n := !n + popcount_byte c) t.words;
+  !n
+
+let union_into ~dst src =
+  if dst.capacity <> src.capacity then invalid_arg "Bitset.union_into: capacity mismatch";
+  let changed = ref false in
+  let n = Bytes.length dst.words in
+  for w = 0 to n - 1 do
+    let d = Char.code (Bytes.unsafe_get dst.words w) in
+    let s = Char.code (Bytes.unsafe_get src.words w) in
+    let u = d lor s in
+    if u <> d then begin
+      changed := true;
+      Bytes.unsafe_set dst.words w (Char.unsafe_chr u)
+    end
+  done;
+  !changed
+
+let inter_cardinal a b =
+  if a.capacity <> b.capacity then invalid_arg "Bitset.inter_cardinal: capacity mismatch";
+  let n = ref 0 in
+  for w = 0 to Bytes.length a.words - 1 do
+    let x =
+      Char.code (Bytes.unsafe_get a.words w)
+      land Char.code (Bytes.unsafe_get b.words w)
+    in
+    !n + popcount_byte (Char.unsafe_chr x) |> fun v -> n := v
+  done;
+  !n
+
+let iter f t =
+  let n = Bytes.length t.words in
+  for w = 0 to n - 1 do
+    let c = Char.code (Bytes.unsafe_get t.words w) in
+    if c <> 0 then
+      for b = 0 to 7 do
+        if c land (1 lsl b) <> 0 then f ((w * 8) + b)
+      done
+  done
+
+let fold f t acc =
+  let acc = ref acc in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let to_int_set t =
+  let a = Array.make (cardinal t) 0 in
+  let i = ref 0 in
+  iter (fun x -> a.(!i) <- x; incr i) t;
+  Int_set.of_sorted_array_unsafe a
+
+let copy t = { words = Bytes.copy t.words; capacity = t.capacity }
+
+let clear t = Bytes.fill t.words 0 (Bytes.length t.words) '\000'
+
+let equal a b = a.capacity = b.capacity && Bytes.equal a.words b.words

@@ -1,0 +1,38 @@
+(** Fixed-capacity bit sets over a dense domain [0 .. capacity-1].
+
+    The transitive-closure computation represents successor sets as bitsets
+    over the (partition-local) node domain, so that closing a partition is a
+    sequence of word-level unions. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty set over domain [0..n-1]. *)
+
+val capacity : t -> int
+
+val set : t -> int -> unit
+
+val unset : t -> int -> unit
+
+val get : t -> int -> bool
+
+val cardinal : t -> int
+
+val union_into : dst:t -> t -> bool
+(** [union_into ~dst src] adds all elements of [src] to [dst]; returns
+    [true] iff [dst] changed.  Capacities must match. *)
+
+val inter_cardinal : t -> t -> int
+
+val iter : (int -> unit) -> t -> unit
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val to_int_set : t -> Int_set.t
+
+val copy : t -> t
+
+val clear : t -> unit
+
+val equal : t -> t -> bool

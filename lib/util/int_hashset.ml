@@ -1,0 +1,37 @@
+type t = (int, unit) Hashtbl.t
+
+let create ?(initial = 16) () = Hashtbl.create initial
+
+let add t x = if not (Hashtbl.mem t x) then Hashtbl.add t x ()
+
+let remove t x = Hashtbl.remove t x
+
+let mem t x = Hashtbl.mem t x
+
+let cardinal = Hashtbl.length
+
+let is_empty t = Hashtbl.length t = 0
+
+let iter f t = Hashtbl.iter (fun x () -> f x) t
+
+let fold f t acc = Hashtbl.fold (fun x () acc -> f x acc) t acc
+
+let to_list t = fold List.cons t []
+
+let to_int_set t =
+  let a = Array.make (cardinal t) 0 in
+  let i = ref 0 in
+  iter (fun x -> a.(!i) <- x; incr i) t;
+  Array.sort compare a;
+  Int_set.of_sorted_array_unsafe a
+
+let of_int_set s =
+  let t = create ~initial:(max 16 (Int_set.cardinal s)) () in
+  Int_set.iter (fun x -> add t x) s;
+  t
+
+let add_int_set t s = Int_set.iter (fun x -> add t x) s
+
+let clear = Hashtbl.clear
+
+let copy = Hashtbl.copy

@@ -1,0 +1,35 @@
+(** Mutable hash sets of integers.
+
+    Used where label sets are grown incrementally (cover construction,
+    incremental maintenance) before being frozen into {!Int_set.t}. *)
+
+type t
+
+val create : ?initial:int -> unit -> t
+
+val add : t -> int -> unit
+
+val remove : t -> int -> unit
+
+val mem : t -> int -> bool
+
+val cardinal : t -> int
+
+val is_empty : t -> bool
+
+val iter : (int -> unit) -> t -> unit
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val to_int_set : t -> Int_set.t
+
+val of_int_set : Int_set.t -> t
+
+val add_int_set : t -> Int_set.t -> unit
+
+val to_list : t -> int list
+(** Unordered. *)
+
+val clear : t -> unit
+
+val copy : t -> t

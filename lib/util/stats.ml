@@ -1,0 +1,44 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let stddev xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+    sqrt (ss /. float_of_int (n - 1))
+  end
+
+let min_max xs =
+  if Array.length xs = 0 then invalid_arg "Stats.min_max: empty";
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (xs.(0), xs.(0)) xs
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then sorted.(lo)
+  else begin
+    let frac = rank -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+  end
+
+let z_98 = 2.3263
+
+let proportion_ci_upper ~successes ~samples ~z =
+  if samples <= 0 then 1.0
+  else begin
+    let n = float_of_int samples in
+    let p = float_of_int successes /. n in
+    let upper = p +. (z *. sqrt (p *. (1.0 -. p) /. n)) in
+    Float.min 1.0 (Float.max 0.0 upper)
+  end

@@ -1,0 +1,22 @@
+(** Descriptive statistics and the confidence interval used by the
+    distance-aware density estimator (Section 5.2 of the paper). *)
+
+val mean : float array -> float
+
+val stddev : float array -> float
+(** Sample standard deviation; 0 for fewer than two samples. *)
+
+val min_max : float array -> float * float
+(** @raise Invalid_argument on an empty array. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [0,100]; linear interpolation.
+    @raise Invalid_argument on an empty array. *)
+
+val proportion_ci_upper : successes:int -> samples:int -> z:float -> float
+(** Upper bound of the Wald confidence interval for a proportion, clamped to
+    [0,1].  The paper samples at most 13,600 candidate edges and takes the
+    upper bound of the 98% interval ([z] = 2.33) as the density estimate. *)
+
+val z_98 : float
+(** z-value for a two-sided 98% confidence interval. *)

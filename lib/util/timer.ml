@@ -1,0 +1,17 @@
+type t = float
+
+let now () = Unix.gettimeofday ()
+
+let start = now
+
+let elapsed_s t = now () -. t
+
+let time f =
+  let t = start () in
+  let r = f () in
+  (r, elapsed_s t)
+
+let pp_duration ppf s =
+  if s < 0.001 then Format.fprintf ppf "%.1fus" (s *. 1e6)
+  else if s < 1.0 then Format.fprintf ppf "%.1fms" (s *. 1e3)
+  else Format.fprintf ppf "%.1fs" s

@@ -1,0 +1,15 @@
+(** Wall-clock timing helpers for the benchmark harness. *)
+
+type t
+
+val start : unit -> t
+
+val elapsed_s : t -> float
+(** Seconds since [start]. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and also returns its wall-clock duration in
+    seconds. *)
+
+val pp_duration : Format.formatter -> float -> unit
+(** Human-readable seconds, e.g. ["820.8s"] or ["3.2ms"]. *)

@@ -1,0 +1,123 @@
+module Splitmix = Hopi_util.Splitmix
+
+type config = {
+  n_docs : int;
+  seed : int;
+  avg_citations : float;
+  citation_alpha : float;
+  forward_fraction : float;
+  intra_link_prob : float;
+}
+
+let default ~n_docs =
+  {
+    n_docs;
+    seed = 20050405;  (* ICDE 2005 *)
+    avg_citations = 4.1;
+    citation_alpha = 2.0;
+    forward_fraction = 0.05;
+    intra_link_prob = 0.2;
+  }
+
+let doc_name i = Printf.sprintf "pub%d.xml" i
+
+let first_names = [| "Ralf"; "Anja"; "Gerhard"; "Edith"; "Haim"; "Tova"; "Roy"; "Jennifer" |]
+
+let last_names =
+  [| "Schenkel"; "Theobald"; "Weikum"; "Cohen"; "Kaplan"; "Milo"; "Goldman"; "Widom" |]
+
+let venues = [| "ICDE"; "VLDB"; "SIGMOD"; "EDBT"; "SODA"; "PODS" |]
+
+let words =
+  [| "index"; "xml"; "reachability"; "cover"; "query"; "graph"; "path"; "search";
+     "ranking"; "distance"; "update"; "partition" |]
+
+(* Citation targets: zero-inflated power-law out-degree (a third of the
+   publications cite nothing inside the collection, as in real bibliographic
+   subsets — this also drives the fraction of documents that separate the
+   document-level graph, Section 7.3), preferring nearby earlier
+   publications, with a small fraction of forward references. *)
+let zero_citation_fraction = 0.35
+
+let citations_of rng cfg i =
+  if Splitmix.float rng 1.0 < zero_citation_fraction then []
+  else begin
+    let k =
+      let raw = Splitmix.pareto rng ~alpha:cfg.citation_alpha ~xmin:1.0 in
+      let mean_pareto = cfg.citation_alpha /. (cfg.citation_alpha -. 1.0) in
+      int_of_float
+        (raw /. mean_pareto *. cfg.avg_citations /. (1.0 -. zero_citation_fraction))
+    in
+    let k = min k 40 in
+  let targets = ref [] in
+  for _ = 1 to k do
+    if Splitmix.float rng 1.0 < cfg.forward_fraction then begin
+      (* forward reference *)
+      if i + 1 < cfg.n_docs then
+        targets := (i + 1 + Splitmix.int rng (cfg.n_docs - i - 1)) :: !targets
+    end
+    else if i > 0 then begin
+      (* backward, biased to recent: square the uniform draw *)
+      let u = Splitmix.float rng 1.0 in
+      let back = 1 + int_of_float (u *. u *. float_of_int (min i 200)) in
+      targets := max 0 (i - back) :: !targets
+    end
+    done;
+    List.sort_uniq compare (List.filter (fun j -> j <> i) !targets)
+  end
+
+let document_xml cfg i =
+  let rng = Splitmix.create (cfg.seed + (i * 7919)) in
+  let buf = Buffer.create 1024 in
+  let adds = Buffer.add_string buf in
+  let title () =
+    let n = 2 + Splitmix.int rng 4 in
+    String.concat " " (List.init n (fun _ -> Splitmix.pick rng words))
+  in
+  adds (Printf.sprintf "<article id=\"r\" key=\"conf/%s/p%d\">\n"
+          (Splitmix.pick rng venues) i);
+  adds (Printf.sprintf "  <title id=\"t\">%s</title>\n" (title ()));
+  let n_authors = 1 + Splitmix.int rng 3 in
+  adds "  <authors>\n";
+  for a = 0 to n_authors - 1 do
+    adds (Printf.sprintf "    <author id=\"a%d\">%s %s</author>\n" a
+            (Splitmix.pick rng first_names) (Splitmix.pick rng last_names))
+  done;
+  adds "  </authors>\n";
+  adds (Printf.sprintf "  <year>%d</year>\n" (1990 + Splitmix.int rng 15));
+  adds (Printf.sprintf "  <pages>%d-%d</pages>\n" (1 + Splitmix.int rng 500)
+          (501 + Splitmix.int rng 500));
+  adds (Printf.sprintf "  <booktitle>%s</booktitle>\n" (Splitmix.pick rng venues));
+  let cites = citations_of rng cfg i in
+  if cites <> [] then begin
+    adds "  <citations>\n";
+    List.iteri
+      (fun k j ->
+        (* most citations point at the cited document's root element;
+           IDREF-style intra-document links reference the first author *)
+        if Splitmix.float rng 1.0 < cfg.intra_link_prob then
+          adds (Printf.sprintf "    <cite id=\"c%d\" xlink:href=\"%s#r\" idref=\"a0\"/>\n"
+                  k (doc_name j))
+        else
+          adds (Printf.sprintf "    <cite id=\"c%d\" xlink:href=\"%s#r\"/>\n" k
+                  (doc_name j)))
+      cites;
+    adds "  </citations>\n"
+  end;
+  adds "</article>";
+  Buffer.contents buf
+
+let generate cfg =
+  let c = Hopi_collection.Collection.create () in
+  for i = 0 to cfg.n_docs - 1 do
+    match
+      Hopi_collection.Collection.add_document_xml c ~name:(doc_name i)
+        (document_xml cfg i)
+    with
+    | Ok _ -> ()
+    | Error e ->
+      failwith
+        (Format.asprintf "Dblp_gen: generated invalid XML for %s: %a" (doc_name i)
+           Hopi_xml.Xml_parser.pp_error e)
+  done;
+  c

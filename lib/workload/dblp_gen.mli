@@ -1,0 +1,29 @@
+(** Synthetic DBLP-like collection (see DESIGN.md, substitutions).
+
+    The paper's DBLP subset has 6,210 publications (one XML document each,
+    ~27 elements on average) and 25,368 citation XLinks (~4 per document).
+    This generator reproduces those structural properties: one
+    bibliographic-record tree per publication, power-law citation
+    out-degrees, citations mostly to earlier publications (plus a
+    configurable fraction of forward references that exercise pending-link
+    resolution), and occasional intra-document IDREFs. *)
+
+type config = {
+  n_docs : int;
+  seed : int;
+  avg_citations : float;  (** mean citation out-degree (paper ≈ 4.1) *)
+  citation_alpha : float;  (** Pareto shape for out-degrees (2.0) *)
+  forward_fraction : float;  (** citations to later documents (0.05) *)
+  intra_link_prob : float;  (** probability of an intra-document IDREF (0.2) *)
+}
+
+val default : n_docs:int -> config
+
+val doc_name : int -> string
+(** ["pub<i>.xml"]. *)
+
+val document_xml : config -> int -> string
+(** The XML text of the i-th publication (deterministic in [config]). *)
+
+val generate : config -> Hopi_collection.Collection.t
+(** Builds the full collection by parsing every generated document. *)

@@ -1,0 +1,66 @@
+module Splitmix = Hopi_util.Splitmix
+
+type config = { n_docs : int; seed : int; avg_elements : int }
+
+let default ~n_docs = { n_docs; seed = 2003; avg_elements = 180 }
+
+let doc_name i = Printf.sprintf "inex%d.xml" i
+
+let section_tags = [| "sec"; "ss1"; "ss2" |]
+
+let inline_tags = [| "p"; "ip1"; "it"; "b"; "ref" |]
+
+let words =
+  [| "retrieval"; "evaluation"; "element"; "relevance"; "assessment"; "topic";
+     "structure"; "markup"; "corpus" |]
+
+let document_xml cfg i =
+  let rng = Splitmix.create (cfg.seed + (i * 104729)) in
+  let buf = Buffer.create 4096 in
+  let adds = Buffer.add_string buf in
+  (* budget-driven recursive tree: front matter + body of nested sections *)
+  let budget = ref (cfg.avg_elements / 2 + Splitmix.int rng (max cfg.avg_elements 2)) in
+  let text () = Splitmix.pick rng words in
+  adds (Printf.sprintf "<article id=\"r\">\n<fm><ti>%s %d</ti><au>%s</au></fm>\n<bdy>\n"
+          (text ()) i (text ()));
+  budget := !budget - 5;
+  let rec section depth =
+    if !budget > 0 then begin
+      let tag = section_tags.(min depth (Array.length section_tags - 1)) in
+      decr budget;
+      adds (Printf.sprintf "<%s><st>%s</st>\n" tag (text ()));
+      decr budget;
+      let n_parts = 1 + Splitmix.int rng 6 in
+      for _ = 1 to n_parts do
+        if !budget > 0 then begin
+          if depth < 2 && Splitmix.float rng 1.0 < 0.3 then section (depth + 1)
+          else begin
+            decr budget;
+            let tag = Splitmix.pick rng inline_tags in
+            adds (Printf.sprintf "<%s>%s</%s>\n" tag (text ()) tag)
+          end
+        end
+      done;
+      adds (Printf.sprintf "</%s>\n" tag)
+    end
+  in
+  while !budget > 0 do
+    section 0
+  done;
+  adds "</bdy>\n</article>";
+  Buffer.contents buf
+
+let generate cfg =
+  let c = Hopi_collection.Collection.create () in
+  for i = 0 to cfg.n_docs - 1 do
+    match
+      Hopi_collection.Collection.add_document_xml c ~name:(doc_name i)
+        (document_xml cfg i)
+    with
+    | Ok _ -> ()
+    | Error e ->
+      failwith
+        (Format.asprintf "Inex_gen: generated invalid XML for %s: %a" (doc_name i)
+           Hopi_xml.Xml_parser.pp_error e)
+  done;
+  c

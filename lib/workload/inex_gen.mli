@@ -1,0 +1,19 @@
+(** Synthetic INEX-like collection: deep article trees *without* any
+    inter-document links (the paper's INEX collection is tree-structured:
+    12,232 documents, ~986 elements each, no links between documents).
+    With no links, every document separates the document-level graph, so
+    the optimized deletion algorithm always applies (Section 7.3). *)
+
+type config = {
+  n_docs : int;
+  seed : int;
+  avg_elements : int;  (** target mean elements per document *)
+}
+
+val default : n_docs:int -> config
+
+val doc_name : int -> string
+
+val document_xml : config -> int -> string
+
+val generate : config -> Hopi_collection.Collection.t

@@ -1,0 +1,306 @@
+type error = { line : int; col : int; msg : string }
+
+let pp_error ppf e = Format.fprintf ppf "XML parse error at %d:%d: %s" e.line e.col e.msg
+
+exception Err of error
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let fail st msg = raise (Err { line = st.line; col = st.col; msg })
+
+let eof st = st.pos >= String.length st.src
+
+let peek st = if eof st then '\000' else st.src.[st.pos]
+
+let advance st =
+  if not (eof st) then begin
+    if st.src.[st.pos] = '\n' then begin
+      st.line <- st.line + 1;
+      st.col <- 1
+    end
+    else st.col <- st.col + 1;
+    st.pos <- st.pos + 1
+  end
+
+let next st =
+  let c = peek st in
+  advance st;
+  c
+
+let looking_at st s =
+  let n = String.length s in
+  st.pos + n <= String.length st.src && String.sub st.src st.pos n = s
+
+let expect_string st s =
+  if looking_at st s then
+    for _ = 1 to String.length s do
+      advance st
+    done
+  else fail st (Printf.sprintf "expected %S" s)
+
+let skip_until st stop =
+  let n = String.length stop in
+  let rec go () =
+    if eof st then fail st (Printf.sprintf "unterminated construct, expected %S" stop)
+    else if st.pos + n <= String.length st.src && String.sub st.src st.pos n = stop
+    then
+      for _ = 1 to n do
+        advance st
+      done
+    else begin
+      advance st;
+      go ()
+    end
+  in
+  go ()
+
+let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let skip_space st =
+  while (not (eof st)) && is_space (peek st) do
+    advance st
+  done
+
+let is_name_start = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true
+  | c -> Char.code c >= 128
+
+let is_name_char c =
+  is_name_start c || (match c with '0' .. '9' | '-' | '.' -> true | _ -> false)
+
+let parse_name st =
+  if not (is_name_start (peek st)) then fail st "expected a name";
+  let start = st.pos in
+  while (not (eof st)) && is_name_char (peek st) do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+let parse_entity st =
+  (* called after '&' was consumed *)
+  let start = st.pos in
+  while (not (eof st)) && peek st <> ';' && st.pos - start < 16 do
+    advance st
+  done;
+  if peek st <> ';' then fail st "unterminated entity reference";
+  let name = String.sub st.src start (st.pos - start) in
+  advance st;
+  match name with
+  | "lt" -> "<"
+  | "gt" -> ">"
+  | "amp" -> "&"
+  | "quot" -> "\""
+  | "apos" -> "'"
+  | _ ->
+    if String.length name > 1 && name.[0] = '#' then begin
+      let code =
+        try
+          if String.length name > 2 && (name.[1] = 'x' || name.[1] = 'X') then
+            int_of_string ("0x" ^ String.sub name 2 (String.length name - 2))
+          else int_of_string (String.sub name 1 (String.length name - 1))
+        with _ -> fail st (Printf.sprintf "bad character reference &%s;" name)
+      in
+      if code < 0x80 then String.make 1 (Char.chr code)
+      else begin
+        (* UTF-8 encode *)
+        let buf = Buffer.create 4 in
+        if code < 0x800 then begin
+          Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+          Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+        end
+        else if code < 0x10000 then begin
+          Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+          Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+          Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+        end
+        else begin
+          Buffer.add_char buf (Char.chr (0xF0 lor (code lsr 18)));
+          Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+          Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+          Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+        end;
+        Buffer.contents buf
+      end
+    end
+    else fail st (Printf.sprintf "unknown entity &%s;" name)
+
+let parse_attr_value st =
+  let quote = next st in
+  if quote <> '"' && quote <> '\'' then fail st "expected quoted attribute value";
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if eof st then fail st "unterminated attribute value"
+    else begin
+      let c = next st in
+      if c = quote then ()
+      else if c = '&' then begin
+        Buffer.add_string buf (parse_entity st);
+        go ()
+      end
+      else if c = '<' then fail st "'<' in attribute value"
+      else begin
+        Buffer.add_char buf c;
+        go ()
+      end
+    end
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_attrs st =
+  let rec go acc =
+    skip_space st;
+    if is_name_start (peek st) then begin
+      let name = parse_name st in
+      skip_space st;
+      if peek st <> '=' then fail st "expected '=' after attribute name";
+      advance st;
+      skip_space st;
+      let value = parse_attr_value st in
+      go ((name, value) :: acc)
+    end
+    else List.rev acc
+  in
+  go []
+
+(* Skip comments, PIs, doctype between markup. *)
+let rec skip_misc st =
+  skip_space st;
+  if looking_at st "<!--" then begin
+    expect_string st "<!--";
+    skip_until st "-->";
+    skip_misc st
+  end
+  else if looking_at st "<?" then begin
+    expect_string st "<?";
+    skip_until st "?>";
+    skip_misc st
+  end
+  else if looking_at st "<!DOCTYPE" then begin
+    expect_string st "<!DOCTYPE";
+    (* skip to matching '>' allowing one level of [ ... ] *)
+    let depth = ref 0 in
+    let rec go () =
+      if eof st then fail st "unterminated DOCTYPE"
+      else
+        match next st with
+        | '[' ->
+          incr depth;
+          go ()
+        | ']' ->
+          decr depth;
+          go ()
+        | '>' when !depth = 0 -> ()
+        | _ -> go ()
+    in
+    go ();
+    skip_misc st
+  end
+
+let rec parse_element st =
+  if peek st <> '<' then fail st "expected '<'";
+  advance st;
+  let tag = parse_name st in
+  let attrs = parse_attrs st in
+  skip_space st;
+  if looking_at st "/>" then begin
+    expect_string st "/>";
+    { Xml_tree.tag; attrs; children = [] }
+  end
+  else if peek st = '>' then begin
+    advance st;
+    let children = parse_content st tag in
+    { Xml_tree.tag; attrs; children }
+  end
+  else fail st "malformed start tag"
+
+and parse_content st tag =
+  let children = ref [] in
+  let text = Buffer.create 16 in
+  let flush_text () =
+    if Buffer.length text > 0 then begin
+      children := Xml_tree.Text (Buffer.contents text) :: !children;
+      Buffer.clear text
+    end
+  in
+  let rec go () =
+    if eof st then fail st (Printf.sprintf "unterminated element <%s>" tag)
+    else if looking_at st "</" then begin
+      flush_text ();
+      expect_string st "</";
+      let close = parse_name st in
+      skip_space st;
+      if peek st <> '>' then fail st "malformed end tag";
+      advance st;
+      if close <> tag then
+        fail st (Printf.sprintf "mismatched end tag </%s>, expected </%s>" close tag)
+    end
+    else if looking_at st "<!--" then begin
+      expect_string st "<!--";
+      skip_until st "-->";
+      go ()
+    end
+    else if looking_at st "<![CDATA[" then begin
+      expect_string st "<![CDATA[";
+      let start = st.pos in
+      let rec find () =
+        if eof st then fail st "unterminated CDATA"
+        else if looking_at st "]]>" then begin
+          Buffer.add_string text (String.sub st.src start (st.pos - start));
+          expect_string st "]]>"
+        end
+        else begin
+          advance st;
+          find ()
+        end
+      in
+      find ();
+      go ()
+    end
+    else if looking_at st "<?" then begin
+      expect_string st "<?";
+      skip_until st "?>";
+      go ()
+    end
+    else if peek st = '<' then begin
+      flush_text ();
+      let child = parse_element st in
+      children := Xml_tree.Element child :: !children;
+      go ()
+    end
+    else if peek st = '&' then begin
+      advance st;
+      Buffer.add_string text (parse_entity st);
+      go ()
+    end
+    else begin
+      Buffer.add_char text (next st);
+      go ()
+    end
+  in
+  go ();
+  List.rev !children
+
+let parse_string src =
+  let st = { src; pos = 0; line = 1; col = 1 } in
+  try
+    skip_misc st;
+    if eof st then Error { line = st.line; col = st.col; msg = "empty document" }
+    else begin
+      let root = parse_element st in
+      skip_misc st;
+      if not (eof st) then
+        Error { line = st.line; col = st.col; msg = "trailing content after root element" }
+      else Ok root
+    end
+  with Err e -> Error e
+
+let parse_string_exn src =
+  match parse_string src with
+  | Ok t -> t
+  | Error e -> failwith (Format.asprintf "%a" pp_error e)

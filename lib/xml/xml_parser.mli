@@ -1,0 +1,16 @@
+(** Recursive-descent parser for the XML subset needed by the index:
+    elements, attributes, text, comments, CDATA, processing instructions,
+    DOCTYPE (skipped), and the predefined + numeric character entities.
+
+    This is a from-scratch substrate: the sealed environment has no XML
+    library (see DESIGN.md). *)
+
+type error = { line : int; col : int; msg : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse_string : string -> (Xml_tree.t, error) result
+(** Parses exactly one root element (after optional prolog/misc). *)
+
+val parse_string_exn : string -> Xml_tree.t
+(** @raise Failure with a formatted error message. *)

@@ -1,0 +1,115 @@
+type t = {
+  tag : string;
+  attrs : (string * string) list;
+  children : child list;
+}
+
+and child = Element of t | Text of string
+
+let element ?(attrs = []) ?(children = []) tag = { tag; attrs; children }
+
+let attr t name = List.assoc_opt name t.attrs
+
+let child_elements t =
+  List.filter_map (function Element e -> Some e | Text _ -> None) t.children
+
+let rec iter_elements f t =
+  f t;
+  List.iter (function Element e -> iter_elements f e | Text _ -> ()) t.children
+
+let rec fold_elements f acc t =
+  let acc = f acc t in
+  List.fold_left
+    (fun acc -> function Element e -> fold_elements f acc e | Text _ -> acc)
+    acc t.children
+
+let count_elements t = fold_elements (fun n _ -> n + 1) 0 t
+
+let text_content t =
+  let buf = Buffer.create 64 in
+  let rec go t =
+    List.iter
+      (function Element e -> go e | Text s -> Buffer.add_string buf s)
+      t.children
+  in
+  go t;
+  Buffer.contents buf
+
+let find_by_id t id =
+  let found = ref None in
+  (try
+     iter_elements
+       (fun e ->
+         if !found = None && attr e "id" = Some id then begin
+           found := Some e;
+           raise Exit
+         end)
+       t
+   with Exit -> ());
+  !found
+
+let escape_text s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_attr s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_string ?(indent = false) t =
+  let buf = Buffer.create 256 in
+  let rec go level t =
+    let pad = if indent then String.make (2 * level) ' ' else "" in
+    Buffer.add_string buf pad;
+    Buffer.add_char buf '<';
+    Buffer.add_string buf t.tag;
+    List.iter
+      (fun (k, v) ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf k;
+        Buffer.add_string buf "=\"";
+        Buffer.add_string buf (escape_attr v);
+        Buffer.add_char buf '"')
+      t.attrs;
+    if t.children = [] then Buffer.add_string buf "/>"
+    else begin
+      Buffer.add_char buf '>';
+      let only_text =
+        List.for_all (function Text _ -> true | Element _ -> false) t.children
+      in
+      if indent && not only_text then Buffer.add_char buf '\n';
+      List.iter
+        (function
+          | Text s -> Buffer.add_string buf (escape_text s)
+          | Element e ->
+            go (level + 1) e;
+            if indent then Buffer.add_char buf '\n')
+        t.children;
+      if indent && not only_text then Buffer.add_string buf pad;
+      Buffer.add_string buf "</";
+      Buffer.add_string buf t.tag;
+      Buffer.add_char buf '>'
+    end
+  in
+  go 0 t;
+  Buffer.contents buf
+
+let rec depth t =
+  match child_elements t with
+  | [] -> 1
+  | es -> 1 + List.fold_left (fun m e -> max m (depth e)) 0 es

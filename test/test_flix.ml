@@ -1,0 +1,70 @@
+(* Tests for the FliX-style hybrid index: it must agree with BFS
+   reachability over the full element graph while indexing only the
+   skeleton. *)
+
+module Collection = Hopi_collection.Collection
+module Traversal = Hopi_graph.Traversal
+module Flix = Hopi_flix.Flix
+module Dblp = Hopi_workload.Dblp_gen
+module Inex = Hopi_workload.Inex_gen
+module Ihs = Hopi_util.Int_hashset
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let exhaustive_check c flix =
+  let g = Collection.element_graph c in
+  let mismatches = ref 0 in
+  Collection.iter_elements c (fun u ->
+      let reach = Traversal.reachable g [ u ] in
+      Collection.iter_elements c (fun v ->
+          if Flix.connected flix u v <> Ihs.mem reach v then incr mismatches));
+  !mismatches
+
+let test_flix_exact_dblp () =
+  let c = Dblp.generate (Dblp.default ~n_docs:25) in
+  let flix = Flix.build c in
+  check_int "no mismatches" 0 (exhaustive_check c flix)
+
+let test_flix_exact_inex () =
+  let c = Inex.generate { (Inex.default ~n_docs:5) with avg_elements = 40 } in
+  let flix = Flix.build c in
+  check_int "tree-only exact" 0 (exhaustive_check c flix);
+  (* no links: skeleton cover is empty *)
+  check_int "empty skeleton cover" 0 (Flix.size flix)
+
+let test_flix_much_smaller_than_hopi () =
+  let c = Dblp.generate (Dblp.default ~n_docs:40) in
+  let flix = Flix.build c in
+  let hopi = Hopi_core.Hopi.create c in
+  check_bool "skeleton cover is smaller" true
+    (Flix.size flix < Hopi_core.Hopi.size hopi);
+  let st = Flix.stats flix in
+  check_bool "skeleton nodes < elements" true
+    (st.Flix.skeleton_nodes < Collection.n_elements c)
+
+let test_flix_unknown_elements () =
+  let c = Dblp.generate (Dblp.default ~n_docs:5) in
+  let flix = Flix.build c in
+  check_bool "unknown" false (Flix.connected flix 999999 0);
+  check_bool "unknown2" false (Flix.connected flix 0 999999)
+
+let prop_flix_matches_bfs =
+  QCheck2.Test.make ~name:"FliX = BFS on random collections" ~count:10
+    QCheck2.Gen.(int_range 0 100000)
+    (fun seed ->
+      let c = Dblp.generate { (Dblp.default ~n_docs:15) with seed } in
+      let flix = Flix.build c in
+      exhaustive_check c flix = 0)
+
+let suite =
+  [
+    ( "flix",
+      [
+        Alcotest.test_case "exact on dblp" `Quick test_flix_exact_dblp;
+        Alcotest.test_case "exact on inex" `Quick test_flix_exact_inex;
+        Alcotest.test_case "smaller than hopi" `Quick test_flix_much_smaller_than_hopi;
+        Alcotest.test_case "unknown elements" `Quick test_flix_unknown_elements;
+      ]
+      @ List.map QCheck_alcotest.to_alcotest [ prop_flix_matches_bfs ] );
+  ]

@@ -1,0 +1,244 @@
+(* Tests for hopi_graph: Digraph, Traversal, Scc, Closure, Shortest. *)
+
+open Hopi_graph
+module Ihs = Hopi_util.Int_hashset
+module Int_set = Hopi_util.Int_set
+module Splitmix = Hopi_util.Splitmix
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_list = Alcotest.(check (list int))
+
+let of_edges edges =
+  let g = Digraph.create () in
+  List.iter (fun (u, v) -> Digraph.add_edge g u v) edges;
+  g
+
+(* A small diamond with a cycle on top:
+   0 -> 1 -> 3, 0 -> 2 -> 3, 3 -> 4, 4 -> 3 (cycle), 5 isolated *)
+let diamond () =
+  let g = of_edges [ (0, 1); (1, 3); (0, 2); (2, 3); (3, 4); (4, 3) ] in
+  Digraph.add_node g 5;
+  g
+
+(* {1 Digraph} *)
+
+let test_digraph_basics () =
+  let g = diamond () in
+  check_int "nodes" 6 (Digraph.n_nodes g);
+  check_int "edges" 6 (Digraph.n_edges g);
+  check_bool "mem_edge" true (Digraph.mem_edge g 0 1);
+  check_bool "no reverse" false (Digraph.mem_edge g 1 0);
+  check_list "succ 0" [ 1; 2 ] (List.sort compare (Digraph.succ g 0));
+  check_list "pred 3" [ 1; 2; 4 ] (List.sort compare (Digraph.pred g 3));
+  check_int "out_degree" 2 (Digraph.out_degree g 0);
+  check_int "in_degree 3" 3 (Digraph.in_degree g 3)
+
+let test_digraph_idempotent_edges () =
+  let g = of_edges [ (1, 2); (1, 2); (1, 2) ] in
+  check_int "edges collapse" 1 (Digraph.n_edges g)
+
+let test_digraph_remove_edge () =
+  let g = diamond () in
+  Digraph.remove_edge g 0 1;
+  check_int "edges" 5 (Digraph.n_edges g);
+  check_bool "gone" false (Digraph.mem_edge g 0 1);
+  Digraph.remove_edge g 0 1;
+  check_int "idempotent" 5 (Digraph.n_edges g)
+
+let test_digraph_remove_node () =
+  let g = diamond () in
+  Digraph.remove_node g 3;
+  check_int "nodes" 5 (Digraph.n_nodes g);
+  check_int "edges" 2 (Digraph.n_edges g);
+  check_list "succ 1 empty" [] (Digraph.succ g 1);
+  check_list "succ 4 empty" [] (Digraph.succ g 4)
+
+let test_digraph_transpose () =
+  let g = of_edges [ (1, 2); (2, 3) ] in
+  let gt = Digraph.transpose g in
+  check_bool "reversed" true (Digraph.mem_edge gt 2 1);
+  check_bool "reversed2" true (Digraph.mem_edge gt 3 2);
+  check_int "same nodes" 3 (Digraph.n_nodes gt)
+
+let test_digraph_induced () =
+  let g = diamond () in
+  let keep = Ihs.create () in
+  List.iter (Ihs.add keep) [ 0; 1; 3 ];
+  let sub = Digraph.induced_subgraph g keep in
+  check_int "nodes" 3 (Digraph.n_nodes sub);
+  check_int "edges" 2 (Digraph.n_edges sub);
+  check_bool "kept" true (Digraph.mem_edge sub 0 1);
+  check_bool "dropped" false (Digraph.mem_edge sub 0 2)
+
+(* {1 Traversal} *)
+
+let test_reachable () =
+  let g = diamond () in
+  let r = Traversal.reachable g [ 0 ] in
+  check_int "count" 5 (Ihs.cardinal r);
+  check_bool "5 not reached" false (Ihs.mem r 5);
+  let rb = Traversal.reachable_backward g [ 3 ] in
+  check_int "backward count" 5 (Ihs.cardinal rb);
+  check_bool "4 reaches 3" true (Ihs.mem rb 4)
+
+let test_reachable_avoiding () =
+  let g = of_edges [ (0, 1); (1, 2); (0, 3); (3, 2) ] in
+  let r = Traversal.reachable_avoiding g ~avoid:(fun v -> v = 1) [ 0 ] in
+  check_bool "2 via 3" true (Ihs.mem r 2);
+  let r2 = Traversal.reachable_avoiding g ~avoid:(fun v -> v = 1 || v = 3) [ 0 ] in
+  check_bool "2 blocked" false (Ihs.mem r2 2)
+
+let test_bfs_distances () =
+  let g = diamond () in
+  let d = Traversal.bfs_distances g 0 in
+  check_int "d(0,0)" 0 (Hashtbl.find d 0);
+  check_int "d(0,3)" 2 (Hashtbl.find d 3);
+  check_int "d(0,4)" 3 (Hashtbl.find d 4);
+  check_bool "unreachable" true (Hashtbl.find_opt d 5 = None)
+
+let test_bfs_bounded () =
+  let g = of_edges [ (0, 1); (1, 2); (2, 3) ] in
+  let d = Traversal.bfs_distances_bounded g 0 ~max_depth:2 in
+  check_bool "depth 2 in" true (Hashtbl.mem d 2);
+  check_bool "depth 3 out" false (Hashtbl.mem d 3)
+
+let test_is_reachable () =
+  let g = diamond () in
+  check_bool "0->4" true (Traversal.is_reachable g 0 4);
+  check_bool "4->3 cycle" true (Traversal.is_reachable g 4 3);
+  check_bool "3->4 " true (Traversal.is_reachable g 3 4);
+  check_bool "1->2 no" false (Traversal.is_reachable g 1 2);
+  check_bool "self" true (Traversal.is_reachable g 5 5);
+  check_bool "unknown" false (Traversal.is_reachable g 99 0)
+
+let test_topological_order () =
+  let g = of_edges [ (1, 2); (2, 3); (1, 3) ] in
+  (match Traversal.topological_order g with
+   | Some [ 1; 2; 3 ] -> ()
+   | Some o -> Alcotest.failf "bad order %s" (String.concat "," (List.map string_of_int o))
+   | None -> Alcotest.fail "expected DAG");
+  let cyc = of_edges [ (1, 2); (2, 1) ] in
+  check_bool "cycle -> None" true (Traversal.topological_order cyc = None)
+
+(* {1 Scc / Condensation} *)
+
+let test_scc_diamond () =
+  let g = diamond () in
+  let scc = Scc.compute g in
+  check_int "count" 5 scc.Scc.count;
+  check_bool "3,4 same" true (Scc.component_of scc 3 = Scc.component_of scc 4);
+  check_bool "0,1 diff" false (Scc.component_of scc 0 = Scc.component_of scc 1)
+
+let test_scc_big_cycle () =
+  let n = 50 in
+  let edges = List.init n (fun i -> (i, (i + 1) mod n)) in
+  let scc = Scc.compute (of_edges edges) in
+  check_int "one component" 1 scc.Scc.count
+
+let test_condensation_is_dag () =
+  let g = of_edges [ (0, 1); (1, 0); (1, 2); (2, 3); (3, 2) ] in
+  let cond = Condensation.compute g in
+  check_bool "dag" true (Traversal.topological_order cond.Condensation.dag <> None);
+  check_int "two non-trivial sccs + none" 2 (Digraph.n_nodes cond.Condensation.dag)
+
+(* {1 Closure} *)
+
+let test_closure_diamond () =
+  let g = diamond () in
+  let c = Closure.compute g in
+  (* 0:{0,1,2,3,4} 1:{1,3,4} 2:{2,3,4} 3:{3,4} 4:{3,4} 5:{5} = 5+3+3+2+2+1 *)
+  check_int "connections" 16 (Closure.n_connections c);
+  check_int "count matches" 16 (Closure.count_connections g);
+  check_bool "0->4" true (Closure.mem c 0 4);
+  check_bool "4->3" true (Closure.mem c 4 3);
+  check_bool "reflexive" true (Closure.mem c 5 5);
+  check_bool "1->2 no" false (Closure.mem c 1 2);
+  check_list "succs 1" [ 1; 3; 4 ] (Int_set.to_list (Closure.succs c 1));
+  check_list "preds 4" [ 0; 1; 2; 3; 4 ] (Int_set.to_list (Closure.preds c 4))
+
+let test_closure_bounded () =
+  let g = diamond () in
+  check_bool "within budget" true (Closure.compute_bounded g ~max_connections:16 <> None);
+  check_bool "over budget" true (Closure.compute_bounded g ~max_connections:15 = None)
+
+let random_graph seed n p =
+  let rng = Splitmix.create seed in
+  let g = Digraph.create () in
+  for v = 0 to n - 1 do
+    Digraph.add_node g v
+  done;
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v && Splitmix.float rng 1.0 < p then Digraph.add_edge g u v
+    done
+  done;
+  g
+
+let prop_closure_matches_bfs =
+  QCheck2.Test.make ~name:"Closure.mem = BFS reachability" ~count:60
+    QCheck2.Gen.(pair (int_range 0 10000) (int_range 1 18))
+    (fun (seed, n) ->
+      let g = random_graph seed n 0.15 in
+      let c = Closure.compute g in
+      let ok = ref true in
+      Digraph.iter_nodes g (fun u ->
+          let reach = Traversal.reachable g [ u ] in
+          Digraph.iter_nodes g (fun v ->
+              if Closure.mem c u v <> Ihs.mem reach v then ok := false));
+      !ok)
+
+let prop_closure_count_consistent =
+  QCheck2.Test.make ~name:"count_connections = n_connections" ~count:60
+    QCheck2.Gen.(pair (int_range 0 10000) (int_range 1 18))
+    (fun (seed, n) ->
+      let g = random_graph seed n 0.2 in
+      Closure.count_connections g = Closure.n_connections (Closure.compute g))
+
+(* {1 Shortest} *)
+
+let test_shortest_diamond () =
+  let g = diamond () in
+  let sp = Shortest.all_pairs g in
+  Alcotest.(check (option int)) "0->3" (Some 2) (Shortest.dist sp 0 3);
+  Alcotest.(check (option int)) "0->0" (Some 0) (Shortest.dist sp 0 0);
+  Alcotest.(check (option int)) "4->4" (Some 0) (Shortest.dist sp 4 4);
+  Alcotest.(check (option int)) "3->4" (Some 1) (Shortest.dist sp 3 4);
+  Alcotest.(check (option int)) "1->2" None (Shortest.dist sp 1 2)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suite =
+  [
+    ( "graph.digraph",
+      [
+        Alcotest.test_case "basics" `Quick test_digraph_basics;
+        Alcotest.test_case "idempotent edges" `Quick test_digraph_idempotent_edges;
+        Alcotest.test_case "remove edge" `Quick test_digraph_remove_edge;
+        Alcotest.test_case "remove node" `Quick test_digraph_remove_node;
+        Alcotest.test_case "transpose" `Quick test_digraph_transpose;
+        Alcotest.test_case "induced subgraph" `Quick test_digraph_induced;
+      ] );
+    ( "graph.traversal",
+      [
+        Alcotest.test_case "reachable" `Quick test_reachable;
+        Alcotest.test_case "reachable_avoiding" `Quick test_reachable_avoiding;
+        Alcotest.test_case "bfs distances" `Quick test_bfs_distances;
+        Alcotest.test_case "bfs bounded" `Quick test_bfs_bounded;
+        Alcotest.test_case "is_reachable" `Quick test_is_reachable;
+        Alcotest.test_case "topological order" `Quick test_topological_order;
+      ] );
+    ( "graph.scc",
+      [
+        Alcotest.test_case "diamond" `Quick test_scc_diamond;
+        Alcotest.test_case "big cycle" `Quick test_scc_big_cycle;
+        Alcotest.test_case "condensation dag" `Quick test_condensation_is_dag;
+      ] );
+    ( "graph.closure",
+      [
+        Alcotest.test_case "diamond" `Quick test_closure_diamond;
+        Alcotest.test_case "bounded" `Quick test_closure_bounded;
+      ]
+      @ qsuite [ prop_closure_matches_bfs; prop_closure_count_consistent ] );
+    ("graph.shortest", [ Alcotest.test_case "diamond" `Quick test_shortest_diamond ]);
+  ]

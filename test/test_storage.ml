@@ -1,0 +1,485 @@
+(* Tests for hopi_storage: Pager, Btree, Table, Cover_store. *)
+
+open Hopi_storage
+module Ihs = Hopi_util.Int_hashset
+module Splitmix = Hopi_util.Splitmix
+module Cover = Hopi_twohop.Cover
+module Dist_cover = Hopi_twohop.Dist_cover
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* {1 Pager} *)
+
+let test_pager_alloc_read () =
+  let p = Pager.create Pager.Memory in
+  let id = Pager.alloc p in
+  check_int "first page" 0 id;
+  let page = Pager.read p id in
+  Page.set_i32 page 0 123456;
+  Pager.mark_dirty p id;
+  check_int "read back" 123456 (Page.get_i32 (Pager.read p id) 0);
+  Alcotest.check_raises "oob" (Invalid_argument "Pager.read: page 5 out of [0,1)")
+    (fun () -> ignore (Pager.read p 5))
+
+let test_pager_eviction_roundtrip () =
+  (* tiny pool forces eviction and re-reads from the store *)
+  let p = Pager.create ~pool_pages:8 Pager.Memory in
+  let n = 64 in
+  for i = 0 to n - 1 do
+    let id = Pager.alloc p in
+    let page = Pager.read p id in
+    Page.set_i32 page 0 (i * 7);
+    Pager.mark_dirty p id
+  done;
+  for i = 0 to n - 1 do
+    check_int (Printf.sprintf "page %d" i) (i * 7) (Page.get_i32 (Pager.read p i) 0)
+  done;
+  let st = Pager.stats p in
+  check_bool "evictions happened" true (st.Pager.evictions > 0);
+  check_bool "disk traffic" true (st.Pager.disk_writes > 0 && st.Pager.disk_reads > 0)
+
+let test_pager_file_backend () =
+  let path = Filename.temp_file "hopi_pager" ".db" in
+  let p = Pager.create ~pool_pages:8 (Pager.File path) in
+  for i = 0 to 31 do
+    let id = Pager.alloc p in
+    let page = Pager.read p id in
+    Page.set_i32 page 100 (i + 1);
+    Pager.mark_dirty p id
+  done;
+  for i = 0 to 31 do
+    check_int "roundtrip" (i + 1) (Page.get_i32 (Pager.read p i) 100)
+  done;
+  Pager.close p;
+  Sys.remove path
+
+let test_pager_pinning () =
+  let p = Pager.create ~pool_pages:8 Pager.Memory in
+  let id0 = Pager.alloc p in
+  let page0 = Pager.pin p id0 in
+  Page.set_i32 page0 0 999;
+  (* churn through many pages: id0 must not be evicted *)
+  for _ = 1 to 50 do
+    let id = Pager.alloc p in
+    ignore (Pager.read p id)
+  done;
+  Page.set_i32 page0 4 1000;
+  Pager.mark_dirty p id0;
+  Pager.unpin p id0;
+  check_int "value survives" 999 (Page.get_i32 (Pager.read p id0) 0)
+
+(* {1 Btree} *)
+
+let test_btree_basic () =
+  let p = Pager.create Pager.Memory in
+  let t = Btree.create p in
+  check_bool "insert new" true (Btree.insert t (1, 2, 3));
+  check_bool "insert dup" false (Btree.insert t (1, 2, 3));
+  check_bool "mem" true (Btree.mem t (1, 2, 3));
+  check_bool "not mem" false (Btree.mem t (1, 2, 4));
+  check_int "length" 1 (Btree.length t);
+  check_bool "delete" true (Btree.delete t (1, 2, 3));
+  check_bool "delete gone" false (Btree.delete t (1, 2, 3));
+  check_int "empty" 0 (Btree.length t)
+
+let test_btree_many_with_splits () =
+  let p = Pager.create ~pool_pages:64 Pager.Memory in
+  let t = Btree.create p in
+  let n = 5000 in
+  (* insert in a scrambled deterministic order *)
+  let keys = Array.init n (fun i -> ((i * 37) mod n, i mod 13, i mod 7)) in
+  Array.iter (fun k -> ignore (Btree.insert t k)) keys;
+  check_int "length" n (Btree.length t);
+  Array.iter (fun k -> check_bool "mem" true (Btree.mem t k)) keys;
+  (* ordered iteration *)
+  let prev = ref (Btree.min_i32, Btree.min_i32, Btree.min_i32) in
+  let count = ref 0 in
+  Btree.iter_all t (fun k ->
+      check_bool "sorted" true (compare !prev k < 0);
+      prev := k;
+      incr count);
+  check_int "iterated all" n !count;
+  check_bool "splits happened" true (Pager.n_pages p > 2)
+
+let test_btree_prefix_scans () =
+  let p = Pager.create Pager.Memory in
+  let t = Btree.create p in
+  List.iter
+    (fun k -> ignore (Btree.insert t k))
+    [ (1, 1, 0); (1, 2, 0); (1, 2, 5); (2, 1, 0); (3, 1, 1) ];
+  let got = ref [] in
+  Btree.iter_prefix1 t 1 (fun k -> got := k :: !got);
+  check_int "prefix1" 3 (List.length !got);
+  got := [];
+  Btree.iter_prefix2 t 1 2 (fun k -> got := k :: !got);
+  check_int "prefix2" 2 (List.length !got);
+  got := [];
+  Btree.iter_prefix1 t 99 (fun k -> got := k :: !got);
+  check_int "empty prefix" 0 (List.length !got)
+
+let prop_btree_model =
+  (* compare against a reference set-model under random insert/delete *)
+  let op_gen =
+    QCheck2.Gen.(
+      list_size (int_bound 400)
+        (pair bool (triple (int_bound 20) (int_bound 20) (int_bound 3))))
+  in
+  QCheck2.Test.make ~name:"Btree = set model" ~count:100 op_gen (fun ops ->
+      let p = Pager.create ~pool_pages:16 Pager.Memory in
+      let t = Btree.create p in
+      let model = Hashtbl.create 64 in
+      List.iter
+        (fun (ins, k) ->
+          if ins then begin
+            let added = Btree.insert t k in
+            let fresh = not (Hashtbl.mem model k) in
+            Hashtbl.replace model k ();
+            if added <> fresh then failwith "insert disagreement"
+          end
+          else begin
+            let removed = Btree.delete t k in
+            let present = Hashtbl.mem model k in
+            Hashtbl.remove model k;
+            if removed <> present then failwith "delete disagreement"
+          end)
+        ops;
+      let ok = ref (Btree.length t = Hashtbl.length model) in
+      Hashtbl.iter (fun k () -> if not (Btree.mem t k) then ok := false) model;
+      let count = ref 0 in
+      Btree.iter_all t (fun k ->
+          if not (Hashtbl.mem model k) then ok := false;
+          incr count);
+      !ok && !count = Hashtbl.length model)
+
+let test_btree_delete_rebalancing () =
+  (* grow a multi-level tree, then delete most keys: pages must merge and
+     return to the free list while every remaining key stays findable *)
+  let p = Pager.create ~pool_pages:128 Pager.Memory in
+  let t = Btree.create p in
+  let n = 20_000 in
+  for i = 0 to n - 1 do
+    ignore (Btree.insert t ((i * 13) mod n, i mod 11, 0))
+  done;
+  check_int "inserted" n (Btree.length t);
+  let pages_full = Pager.n_pages p in
+  check_bool "deep tree" true (pages_full > 30);
+  (* delete everything except multiples of 20, in a scrambled order *)
+  for i = 0 to n - 1 do
+    let k = ((i * 7) mod n, ((n - 1 - i) * 13 mod n) mod 11, 0) in
+    ignore k;
+    let key = ((i * 13) mod n, i mod 11, 0) in
+    if i mod 20 <> 0 then ignore (Btree.delete t key)
+  done;
+  check_int "survivors" (n / 20) (Btree.length t);
+  for i = 0 to n - 1 do
+    let key = ((i * 13) mod n, i mod 11, 0) in
+    check_bool "membership" (i mod 20 = 0) (Btree.mem t key)
+  done;
+  (* ordered scan sees exactly the survivors *)
+  let count = ref 0 in
+  let prev = ref (Btree.min_i32, Btree.min_i32, Btree.min_i32) in
+  Btree.iter_all t (fun k ->
+      check_bool "sorted" true (compare !prev k < 0);
+      prev := k;
+      incr count);
+  check_int "scan count" (n / 20) !count;
+  let st = Pager.stats p in
+  check_bool "pages were freed" true (st.Pager.free_pages > 0);
+  (* freed pages are recycled by new inserts *)
+  let before = Pager.n_pages p in
+  for i = 0 to 2000 do
+    ignore (Btree.insert t (100_000 + i, 0, 0))
+  done;
+  check_bool "growth reuses freed pages" true
+    (Pager.n_pages p - before < 2000 / 100)
+
+let test_btree_delete_to_empty_and_reuse () =
+  let p = Pager.create Pager.Memory in
+  let t = Btree.create p in
+  for round = 1 to 3 do
+    for i = 0 to 2_000 do
+      ignore (Btree.insert t (i, round, 0))
+    done;
+    for i = 0 to 2_000 do
+      check_bool "delete works" true (Btree.delete t (i, round, 0))
+    done;
+    check_int "empty again" 0 (Btree.length t)
+  done;
+  check_bool "no runaway growth" true (Pager.n_pages p < 40)
+
+(* {1 Table} *)
+
+let test_table_indexes () =
+  let p = Pager.create Pager.Memory in
+  let t = Table.create p in
+  check_bool "insert" true (Table.insert t ~id:1 ~label:10 ~dist:0);
+  check_bool "dup" false (Table.insert t ~id:1 ~label:10 ~dist:0);
+  ignore (Table.insert t ~id:1 ~label:11 ~dist:2);
+  ignore (Table.insert t ~id:2 ~label:10 ~dist:1);
+  check_int "rows" 3 (Table.length t);
+  let by_id = ref [] in
+  Table.iter_by_id t 1 (fun ~label ~dist -> by_id := (label, dist) :: !by_id);
+  Alcotest.(check (list (pair int int))) "forward scan" [ (10, 0); (11, 2) ]
+    (List.rev !by_id);
+  let by_label = ref [] in
+  Table.iter_by_label t 10 (fun ~id ~dist -> by_label := (id, dist) :: !by_label);
+  Alcotest.(check (list (pair int int))) "backward scan" [ (1, 0); (2, 1) ]
+    (List.rev !by_label);
+  check_int "delete_all_of_id" 2 (Table.delete_all_of_id t 1);
+  check_int "rows left" 1 (Table.length t);
+  (* backward index consistent after delete *)
+  let remaining = ref [] in
+  Table.iter_by_label t 10 (fun ~id ~dist:_ -> remaining := id :: !remaining);
+  Alcotest.(check (list int)) "bwd consistent" [ 2 ] !remaining
+
+let test_table_find_dist () =
+  let p = Pager.create Pager.Memory in
+  let t = Table.create p in
+  ignore (Table.insert t ~id:1 ~label:10 ~dist:5);
+  ignore (Table.insert t ~id:1 ~label:10 ~dist:3);
+  Alcotest.(check (option int)) "min dist" (Some 3) (Table.find_dist t ~id:1 ~label:10);
+  Alcotest.(check (option int)) "missing" None (Table.find_dist t ~id:9 ~label:10)
+
+(* {1 Cover_store} *)
+
+let test_cover_store_roundtrip () =
+  (* path cover 1 -> 2 -> 3, center 2 *)
+  let cover = Cover.create () in
+  List.iter (Cover.add_node cover) [ 1; 2; 3 ];
+  Cover.add_out cover ~node:1 ~center:2;
+  Cover.add_in cover ~node:3 ~center:2;
+  let store = Cover_store.create (Pager.create Pager.Memory) in
+  Cover_store.load_cover store cover;
+  check_int "entries" 2 (Cover_store.n_entries store);
+  check_int "stored ints" 8 (Cover_store.stored_integers store);
+  check_bool "1->3" true (Cover_store.connected store 1 3);
+  check_bool "1->2" true (Cover_store.connected store 1 2);
+  check_bool "3->1" false (Cover_store.connected store 3 1);
+  check_bool "reflexive" true (Cover_store.connected store 2 2);
+  check_bool "unknown node" false (Cover_store.connected store 1 99);
+  let desc = Cover_store.descendants store 1 in
+  check_int "descendants" 3 (Ihs.cardinal desc);
+  let anc = Cover_store.ancestors store 3 in
+  check_int "ancestors" 3 (Ihs.cardinal anc)
+
+let test_cover_store_distance () =
+  let dc = Dist_cover.create () in
+  List.iter (Dist_cover.add_node dc) [ 1; 2; 3 ];
+  Dist_cover.add_out dc ~node:1 ~center:2 ~dist:1;
+  Dist_cover.add_in dc ~node:3 ~center:2 ~dist:4;
+  let store = Cover_store.create (Pager.create Pager.Memory) in
+  Cover_store.load_dist_cover store dc;
+  Alcotest.(check (option int)) "1->3 = 5" (Some 5) (Cover_store.min_distance store 1 3);
+  Alcotest.(check (option int)) "1->2 = 1" (Some 1) (Cover_store.min_distance store 1 2);
+  Alcotest.(check (option int)) "2->3 = 4" (Some 4) (Cover_store.min_distance store 2 3);
+  Alcotest.(check (option int)) "self" (Some 0) (Cover_store.min_distance store 2 2);
+  Alcotest.(check (option int)) "none" None (Cover_store.min_distance store 3 1);
+  check_int "stored ints with dist" 12 (Cover_store.stored_integers store)
+
+let test_cover_store_matches_cover () =
+  (* random graph: store answers = in-memory cover answers *)
+  let rng = Splitmix.create 99 in
+  let g = Hopi_graph.Digraph.create () in
+  for v = 0 to 29 do
+    Hopi_graph.Digraph.add_node g v
+  done;
+  for _ = 1 to 60 do
+    Hopi_graph.Digraph.add_edge g (Splitmix.int rng 30) (Splitmix.int rng 30)
+  done;
+  let clo = Hopi_graph.Closure.compute g in
+  let cover, _ = Hopi_twohop.Builder.build clo in
+  let store = Cover_store.create (Pager.create ~pool_pages:16 Pager.Memory) in
+  Cover_store.load_cover store cover;
+  for u = 0 to 29 do
+    for v = 0 to 29 do
+      check_bool
+        (Printf.sprintf "%d->%d" u v)
+        (Cover.connected cover u v)
+        (Cover_store.connected store u v)
+    done
+  done;
+  check_int "entry counts agree" (Cover.size cover) (Cover_store.n_entries store)
+
+let test_cover_store_remove_node () =
+  let cover = Cover.create () in
+  List.iter (Cover.add_node cover) [ 1; 2; 3 ];
+  Cover.add_out cover ~node:1 ~center:2;
+  Cover.add_in cover ~node:3 ~center:2;
+  let store = Cover_store.create (Pager.create Pager.Memory) in
+  Cover_store.load_cover store cover;
+  Cover_store.remove_node store 1;
+  check_bool "gone" false (Cover_store.mem_node store 1);
+  check_bool "no conn" false (Cover_store.connected store 1 3);
+  check_int "one entry left" 1 (Cover_store.n_entries store);
+  Cover_store.remove_label store 2;
+  check_int "label entries dropped" 0 (Cover_store.n_entries store)
+
+let test_cover_store_persistence_roundtrip () =
+  let path = Filename.temp_file "hopi_store" ".db" in
+  (* build a cover over a random graph, persist, close *)
+  let rng = Splitmix.create 31 in
+  let g = Hopi_graph.Digraph.create () in
+  for v = 0 to 19 do
+    Hopi_graph.Digraph.add_node g v
+  done;
+  for _ = 1 to 40 do
+    Hopi_graph.Digraph.add_edge g (Splitmix.int rng 20) (Splitmix.int rng 20)
+  done;
+  let clo = Hopi_graph.Closure.compute g in
+  let cover, _ = Hopi_twohop.Builder.build clo in
+  let pager = Pager.create ~pool_pages:16 (Pager.File path) in
+  let store = Cover_store.create pager in
+  Cover_store.load_cover store cover;
+  let entries = Cover_store.n_entries store in
+  Cover_store.save store;
+  Pager.close pager;
+  (* reopen from disk and compare every answer *)
+  let pager2 = Pager.open_existing ~pool_pages:16 path in
+  let store2 = Cover_store.open_pager pager2 in
+  check_int "entries survive" entries (Cover_store.n_entries store2);
+  for u = 0 to 19 do
+    for v = 0 to 19 do
+      check_bool
+        (Printf.sprintf "%d->%d" u v)
+        (Cover.connected cover u v)
+        (Cover_store.connected store2 u v)
+    done
+  done;
+  Pager.close pager2;
+  Sys.remove path
+
+let test_cover_store_persistence_distances () =
+  let path = Filename.temp_file "hopi_dstore" ".db" in
+  let dc = Dist_cover.create () in
+  List.iter (Dist_cover.add_node dc) [ 1; 2; 3 ];
+  Dist_cover.add_out dc ~node:1 ~center:2 ~dist:3;
+  Dist_cover.add_in dc ~node:3 ~center:2 ~dist:4;
+  let pager = Pager.create (Pager.File path) in
+  let store = Cover_store.create pager in
+  Cover_store.load_dist_cover store dc;
+  Cover_store.save store;
+  Pager.close pager;
+  let store2 = Cover_store.open_pager (Pager.open_existing path) in
+  Alcotest.(check (option int)) "distance survives" (Some 7)
+    (Cover_store.min_distance store2 1 3);
+  check_int "dist flag survives (6 ints per entry)" 12
+    (Cover_store.stored_integers store2);
+  Sys.remove path
+
+let test_catalog_bad_magic () =
+  let pager = Pager.create Pager.Memory in
+  ignore (Pager.alloc pager);
+  Alcotest.check_raises "bad magic" (Failure "Catalog.read: bad magic") (fun () ->
+      ignore (Cover_store.open_pager pager))
+
+(* {1 Closure_store} *)
+
+let test_closure_store () =
+  let g = Hopi_graph.Digraph.create () in
+  List.iter (fun (u, v) -> Hopi_graph.Digraph.add_edge g u v)
+    [ (1, 2); (2, 3); (1, 4) ];
+  let clo = Hopi_graph.Closure.compute g in
+  let store = Closure_store.create (Pager.create Pager.Memory) in
+  Closure_store.load store clo;
+  check_int "connections incl reflexive" 8 (Closure_store.n_connections store);
+  check_int "stored ints" 32 (Closure_store.stored_integers store);
+  check_bool "1->3" true (Closure_store.connected store 1 3);
+  check_bool "reflexive" true (Closure_store.connected store 4 4);
+  check_bool "3->1" false (Closure_store.connected store 3 1);
+  check_int "descendants of 1" 4 (Ihs.cardinal (Closure_store.descendants store 1));
+  check_int "ancestors of 3" 3 (Ihs.cardinal (Closure_store.ancestors store 3))
+
+let prop_dist_store_matches_dist_cover =
+  QCheck2.Test.make ~name:"stored MIN(DIST) = Dist_cover.dist" ~count:25
+    QCheck2.Gen.(pair (int_range 0 100000) (int_range 2 14))
+    (fun (seed, n) ->
+      let rng = Splitmix.create seed in
+      let g = Hopi_graph.Digraph.create () in
+      for v = 0 to n - 1 do
+        Hopi_graph.Digraph.add_node g v
+      done;
+      for _ = 1 to 2 * n do
+        let u = Splitmix.int rng n and v = Splitmix.int rng n in
+        if u <> v then Hopi_graph.Digraph.add_edge g u v
+      done;
+      let dc, _ = Hopi_twohop.Dist_builder.build g in
+      let store = Cover_store.create (Pager.create ~pool_pages:16 Pager.Memory) in
+      Cover_store.load_dist_cover store dc;
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          if Cover_store.min_distance store u v <> Dist_cover.dist dc u v then ok := false
+        done
+      done;
+      !ok)
+
+let prop_store_anc_desc_match_cover =
+  QCheck2.Test.make ~name:"stored ancestors/descendants = cover" ~count:25
+    QCheck2.Gen.(pair (int_range 0 100000) (int_range 2 14))
+    (fun (seed, n) ->
+      let rng = Splitmix.create seed in
+      let g = Hopi_graph.Digraph.create () in
+      for v = 0 to n - 1 do
+        Hopi_graph.Digraph.add_node g v
+      done;
+      for _ = 1 to 2 * n do
+        let u = Splitmix.int rng n and v = Splitmix.int rng n in
+        if u <> v then Hopi_graph.Digraph.add_edge g u v
+      done;
+      let cover, _ = Hopi_twohop.Builder.build (Hopi_graph.Closure.compute g) in
+      let store = Cover_store.create (Pager.create ~pool_pages:16 Pager.Memory) in
+      Cover_store.load_cover store cover;
+      let same a b =
+        Hopi_util.Int_set.equal (Ihs.to_int_set a) (Ihs.to_int_set b)
+      in
+      let ok = ref true in
+      for v = 0 to n - 1 do
+        if not (same (Cover_store.descendants store v) (Cover.descendants cover v))
+        then ok := false;
+        if not (same (Cover_store.ancestors store v) (Cover.ancestors cover v)) then
+          ok := false
+      done;
+      !ok)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suite =
+  [
+    ( "storage.pager",
+      [
+        Alcotest.test_case "alloc/read" `Quick test_pager_alloc_read;
+        Alcotest.test_case "eviction roundtrip" `Quick test_pager_eviction_roundtrip;
+        Alcotest.test_case "file backend" `Quick test_pager_file_backend;
+        Alcotest.test_case "pinning" `Quick test_pager_pinning;
+      ] );
+    ( "storage.btree",
+      [
+        Alcotest.test_case "basic" `Quick test_btree_basic;
+        Alcotest.test_case "many keys/splits" `Quick test_btree_many_with_splits;
+        Alcotest.test_case "prefix scans" `Quick test_btree_prefix_scans;
+        Alcotest.test_case "delete rebalancing" `Quick test_btree_delete_rebalancing;
+        Alcotest.test_case "delete to empty + reuse" `Quick test_btree_delete_to_empty_and_reuse;
+      ]
+      @ qsuite [ prop_btree_model ] );
+    ( "storage.table",
+      [
+        Alcotest.test_case "indexes" `Quick test_table_indexes;
+        Alcotest.test_case "find_dist" `Quick test_table_find_dist;
+      ] );
+    ( "storage.cover_store",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_cover_store_roundtrip;
+        Alcotest.test_case "distance" `Quick test_cover_store_distance;
+        Alcotest.test_case "matches cover" `Quick test_cover_store_matches_cover;
+        Alcotest.test_case "remove node" `Quick test_cover_store_remove_node;
+        Alcotest.test_case "persistence roundtrip" `Quick
+          test_cover_store_persistence_roundtrip;
+        Alcotest.test_case "persistence distances" `Quick
+          test_cover_store_persistence_distances;
+        Alcotest.test_case "bad catalog" `Quick test_catalog_bad_magic;
+      ] );
+    ("storage.closure_store", [ Alcotest.test_case "basic" `Quick test_closure_store ]);
+    ( "storage.cover_store_props",
+      qsuite [ prop_dist_store_matches_dist_cover; prop_store_anc_desc_match_cover ] );
+  ]

@@ -1,0 +1,346 @@
+(* Tests for hopi_twohop: Cover, Uncovered, Densest, Builder, Dist_builder,
+   Verify. *)
+
+open Hopi_twohop
+open Hopi_graph
+module Ihs = Hopi_util.Int_hashset
+module Int_set = Hopi_util.Int_set
+module Splitmix = Hopi_util.Splitmix
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_list = Alcotest.(check (list int))
+
+let of_edges edges =
+  let g = Digraph.create () in
+  List.iter (fun (u, v) -> Digraph.add_edge g u v) edges;
+  g
+
+let diamond () = of_edges [ (0, 1); (1, 3); (0, 2); (2, 3); (3, 4); (4, 3) ]
+
+(* {1 Cover} *)
+
+let test_cover_manual () =
+  (* cover of path 1 -> 2 -> 3 with center 2 *)
+  let c = Cover.create () in
+  List.iter (Cover.add_node c) [ 1; 2; 3 ];
+  Cover.add_out c ~node:1 ~center:2;
+  Cover.add_in c ~node:3 ~center:2;
+  check_bool "1->2 (implicit self in Lin 2)" true (Cover.connected c 1 2);
+  check_bool "2->3" true (Cover.connected c 2 3);
+  check_bool "1->3 via 2" true (Cover.connected c 1 3);
+  check_bool "reflexive" true (Cover.connected c 2 2);
+  check_bool "3->1 no" false (Cover.connected c 3 1);
+  check_int "size" 2 (Cover.size c)
+
+let test_cover_self_entries_skipped () =
+  let c = Cover.create () in
+  Cover.add_node c 7;
+  Cover.add_in c ~node:7 ~center:7;
+  Cover.add_out c ~node:7 ~center:7;
+  check_int "implicit self not stored" 0 (Cover.size c);
+  check_bool "still reflexive" true (Cover.connected c 7 7)
+
+let test_cover_ancestors_descendants () =
+  let c = Cover.create () in
+  List.iter (Cover.add_node c) [ 1; 2; 3 ];
+  Cover.add_out c ~node:1 ~center:2;
+  Cover.add_in c ~node:3 ~center:2;
+  let desc = Cover.descendants c 1 in
+  check_list "desc 1" [ 1; 2; 3 ] (List.sort compare (Ihs.to_list desc));
+  let anc = Cover.ancestors c 3 in
+  check_list "anc 3" [ 1; 2; 3 ] (List.sort compare (Ihs.to_list anc));
+  check_list "anc 1" [ 1 ] (Ihs.to_list (Cover.ancestors c 1))
+
+let test_cover_hop_center () =
+  let c = Cover.create () in
+  List.iter (Cover.add_node c) [ 1; 2; 3 ];
+  Cover.add_out c ~node:1 ~center:2;
+  Cover.add_in c ~node:3 ~center:2;
+  Alcotest.(check (option int)) "witness" (Some 2) (Cover.hop_center c 1 3);
+  Alcotest.(check (option int)) "none" None (Cover.hop_center c 3 1);
+  Alcotest.(check (option int)) "self" (Some 1) (Cover.hop_center c 1 1)
+
+let test_cover_set_labels () =
+  let c = Cover.create () in
+  List.iter (Cover.add_node c) [ 1; 2; 3; 4 ];
+  Cover.add_out c ~node:1 ~center:2;
+  Cover.add_out c ~node:1 ~center:3;
+  check_int "size 2" 2 (Cover.size c);
+  Cover.set_lout c 1 (Int_set.of_list [ 3; 4 ]);
+  check_int "size stays 2" 2 (Cover.size c);
+  check_list "lout" [ 3; 4 ] (Int_set.to_list (Cover.lout c 1));
+  (* backward index consistency *)
+  check_bool "2 inv dropped" false (Ihs.mem (Cover.out_labelled_with c 2) 1);
+  check_bool "4 inv added" true (Ihs.mem (Cover.out_labelled_with c 4) 1)
+
+let test_cover_remove_node () =
+  let c = Cover.create () in
+  List.iter (Cover.add_node c) [ 1; 2; 3 ];
+  Cover.add_out c ~node:1 ~center:2;
+  Cover.add_in c ~node:3 ~center:2;
+  Cover.add_out c ~node:1 ~center:3;
+  Cover.remove_node c 2;
+  check_bool "node gone" false (Cover.mem_node c 2);
+  check_list "lout 1 keeps 3" [ 3 ] (Int_set.to_list (Cover.lout c 1));
+  check_int "size" 1 (Cover.size c)
+
+let test_cover_union_into () =
+  let a = Cover.create () and b = Cover.create () in
+  List.iter (Cover.add_node a) [ 1; 2 ];
+  Cover.add_out a ~node:1 ~center:2;
+  List.iter (Cover.add_node b) [ 2; 3 ];
+  Cover.add_in b ~node:3 ~center:2;
+  Cover.union_into ~dst:a b;
+  check_bool "1->3" true (Cover.connected a 1 3);
+  check_int "size" 2 (Cover.size a)
+
+(* {1 Uncovered} *)
+
+let test_uncovered_basics () =
+  let clo = Closure.compute (diamond ()) in
+  let u = Uncovered.of_closure clo in
+  (* diamond closure has 15 connections for nodes 0-4 incl reflexive(5);
+     non-reflexive = 15 - 5 = 10 *)
+  check_int "count" 10 (Uncovered.count u);
+  check_bool "mem" true (Uncovered.mem u 0 4);
+  check_bool "no reflexive" false (Uncovered.mem u 0 0);
+  Uncovered.remove u 0 4;
+  check_bool "removed" false (Uncovered.mem u 0 4);
+  check_int "count after" 9 (Uncovered.count u);
+  Uncovered.remove u 0 4;
+  check_int "idempotent" 9 (Uncovered.count u)
+
+(* {1 Densest} *)
+
+let test_densest_complete_bipartite () =
+  (* K_{2,3}: density = 6/5 *)
+  let edges_of u = if u = 1 || u = 2 then [ 10; 11; 12 ] else [] in
+  match Densest.run ~ins:[| 1; 2 |] ~edges_of with
+  | None -> Alcotest.fail "expected a subgraph"
+  | Some r ->
+    Alcotest.(check (float 1e-9)) "density" (6.0 /. 5.0) r.Densest.density;
+    check_int "edges" 6 r.Densest.n_edges;
+    check_list "c_in" [ 1; 2 ] (List.sort compare r.Densest.c_in);
+    check_list "c_out" [ 10; 11; 12 ] (List.sort compare r.Densest.c_out)
+
+let test_densest_picks_dense_part () =
+  (* node 1..3 fully connected to 10..12 (9 edges), node 4 with single edge
+     to 20: densest subgraph should be the K_{3,3} part *)
+  let edges_of = function
+    | 1 | 2 | 3 -> [ 10; 11; 12 ]
+    | 4 -> [ 20 ]
+    | _ -> []
+  in
+  match Densest.run ~ins:[| 1; 2; 3; 4 |] ~edges_of with
+  | None -> Alcotest.fail "expected a subgraph"
+  | Some r ->
+    check_list "c_in" [ 1; 2; 3 ] (List.sort compare r.Densest.c_in);
+    check_list "c_out" [ 10; 11; 12 ] (List.sort compare r.Densest.c_out);
+    Alcotest.(check (float 1e-9)) "density" 1.5 r.Densest.density
+
+let test_densest_no_edges () =
+  check_bool "none" true (Densest.run ~ins:[| 1; 2 |] ~edges_of:(fun _ -> []) = None)
+
+let test_densest_shared_node_both_sides () =
+  (* the same id may appear as in-node and out-node (cycles) *)
+  let edges_of = function 1 -> [ 1; 2 ] | 2 -> [ 1 ] | _ -> [] in
+  match Densest.run ~ins:[| 1; 2 |] ~edges_of with
+  | None -> Alcotest.fail "expected a subgraph"
+  | Some r -> check_int "3 edges" 3 r.Densest.n_edges
+
+(* {1 Builder} *)
+
+let random_graph seed n p =
+  let rng = Splitmix.create seed in
+  let g = Digraph.create () in
+  for v = 0 to n - 1 do
+    Digraph.add_node g v
+  done;
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v && Splitmix.float rng 1.0 < p then Digraph.add_edge g u v
+    done
+  done;
+  g
+
+let build_and_verify g =
+  let clo = Closure.compute g in
+  let cover, _ = Builder.build clo in
+  Verify.cover_vs_graph cover g
+
+let test_builder_diamond () =
+  check_int "no mismatches" 0 (List.length (build_and_verify (diamond ())))
+
+let test_builder_empty_graph () =
+  let g = Digraph.create () in
+  Digraph.add_node g 1;
+  Digraph.add_node g 2;
+  check_int "isolated nodes" 0 (List.length (build_and_verify g))
+
+let test_builder_chain () =
+  let g = of_edges (List.init 20 (fun i -> (i, i + 1))) in
+  check_int "chain" 0 (List.length (build_and_verify g))
+
+let test_builder_cycle () =
+  let g = of_edges (List.init 10 (fun i -> (i, (i + 1) mod 10))) in
+  check_int "cycle" 0 (List.length (build_and_verify g))
+
+let test_builder_dense_bipartite () =
+  let edges = List.concat_map (fun u -> List.map (fun v -> (u, 100 + v)) (List.init 8 Fun.id)) (List.init 8 Fun.id) in
+  let g = of_edges edges in
+  check_int "bipartite" 0 (List.length (build_and_verify g))
+
+let test_builder_hub_compression () =
+  (* 8 sources -> hub -> 8 sinks: 80 transitive connections, but the greedy
+     builder should find the hub center and need ~16 label entries *)
+  let edges =
+    List.init 8 (fun i -> (i, 100)) @ List.init 8 (fun j -> (100, 200 + j))
+  in
+  let g = of_edges edges in
+  check_int "exact" 0 (List.length (build_and_verify g));
+  let clo = Closure.compute g in
+  check_int "closure size" 97 (Closure.n_connections clo);
+  let cover, _ = Builder.build clo in
+  check_bool "compresses" true (Cover.size cover <= 20)
+
+let test_builder_self_loop () =
+  let g = of_edges [ (1, 1); (1, 2) ] in
+  check_int "self loop" 0 (List.length (build_and_verify g))
+
+let test_builder_preselect_correct () =
+  let g = diamond () in
+  let clo = Closure.compute g in
+  let cover, _ = Builder.build ~preselect_centers:[ 3; 0 ] clo in
+  check_int "still exact" 0 (List.length (Verify.cover_vs_graph cover g))
+
+let test_builder_preselect_unknown_center () =
+  let g = diamond () in
+  let clo = Closure.compute g in
+  let cover, _ = Builder.build ~preselect_centers:[ 999 ] clo in
+  check_int "ignored" 0 (List.length (Verify.cover_vs_graph cover g))
+
+let test_builder_eager_matches_lazy () =
+  let g = random_graph 77 14 0.2 in
+  let clo = Closure.compute g in
+  let lazy_cover, lazy_stats = Builder.build clo in
+  let eager_cover, eager_stats = Builder.build_eager clo in
+  check_int "both exact (lazy)" 0 (List.length (Verify.cover_vs_graph lazy_cover g));
+  check_int "both exact (eager)" 0 (List.length (Verify.cover_vs_graph eager_cover g));
+  check_bool "lazy recomputes less" true
+    (lazy_stats.Builder.recomputations < eager_stats.Builder.recomputations)
+
+let test_builder_only_pairs () =
+  let g = of_edges [ (0, 1); (1, 2); (2, 3); (10, 11) ] in
+  let clo = Closure.compute g in
+  (* only require 0 ⇝ 3: the cover must answer it, and must stay sound
+     (never claim 10 ⇝ 0 etc.) *)
+  let cover, _ = Builder.build ~only_pairs:[ (0, 3); (10, 0) (* not connected *) ] clo in
+  check_bool "required pair" true (Cover.connected cover 0 3);
+  check_bool "sound" false (Cover.connected cover 10 0);
+  check_bool "sound2" false (Cover.connected cover 3 0);
+  (* pairs not required may be unanswered, but any true answer is correct *)
+  let g_check u v got = if got then Alcotest.(check bool) "no false positive" true
+      (Hopi_graph.Traversal.is_reachable g u v) in
+  Digraph.iter_nodes g (fun u ->
+      Digraph.iter_nodes g (fun v -> g_check u v (Cover.connected cover u v)))
+
+let prop_builder_exact =
+  QCheck2.Test.make ~name:"Builder covers exactly the closure" ~count:50
+    QCheck2.Gen.(pair (int_range 0 100000) (int_range 1 16))
+    (fun (seed, n) ->
+      let g = random_graph seed n 0.18 in
+      build_and_verify g = [])
+
+let prop_builder_not_larger_than_closure =
+  QCheck2.Test.make ~name:"cover size <= closure connections" ~count:30
+    QCheck2.Gen.(pair (int_range 0 100000) (int_range 2 14))
+    (fun (seed, n) ->
+      let g = random_graph seed n 0.25 in
+      let clo = Closure.compute g in
+      let cover, _ = Builder.build clo in
+      (* each closure connection adds at most 2 label entries; greedy covers
+         should do no worse than the trivial labelling *)
+      Cover.size cover <= 2 * Closure.n_connections clo)
+
+(* {1 Dist_builder} *)
+
+let test_dist_builder_diamond () =
+  let g = diamond () in
+  let cover, _ = Dist_builder.build g in
+  check_int "distances exact" 0 (List.length (Verify.dist_cover_vs_graph cover g))
+
+let test_dist_builder_chain () =
+  let g = of_edges (List.init 12 (fun i -> (i, i + 1))) in
+  let cover, _ = Dist_builder.build g in
+  check_int "chain distances" 0 (List.length (Verify.dist_cover_vs_graph cover g));
+  Alcotest.(check (option int)) "end to end" (Some 12) (Dist_cover.dist cover 0 12)
+
+let test_dist_builder_two_paths () =
+  (* short path 0->1->5 and long path 0->2->3->4->5: distance must be 2 *)
+  let g = of_edges [ (0, 1); (1, 5); (0, 2); (2, 3); (3, 4); (4, 5) ] in
+  let cover, _ = Dist_builder.build g in
+  Alcotest.(check (option int)) "min path" (Some 2) (Dist_cover.dist cover 0 5);
+  check_int "all exact" 0 (List.length (Verify.dist_cover_vs_graph cover g))
+
+let test_dist_builder_sampling_mode () =
+  (* exact_threshold 0 forces the sampling estimator everywhere *)
+  let g = random_graph 7 14 0.2 in
+  let cover, stats = Dist_builder.build ~exact_threshold:0 g in
+  check_int "exact with sampling" 0 (List.length (Verify.dist_cover_vs_graph cover g));
+  check_bool "sampling used" true (stats.Dist_builder.sampled_nodes > 0)
+
+let prop_dist_builder_exact =
+  QCheck2.Test.make ~name:"Dist_builder returns exact distances" ~count:30
+    QCheck2.Gen.(pair (int_range 0 100000) (int_range 1 12))
+    (fun (seed, n) ->
+      let g = random_graph seed n 0.2 in
+      let cover, _ = Dist_builder.build g in
+      Verify.dist_cover_vs_graph cover g = [])
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suite =
+  [
+    ( "twohop.cover",
+      [
+        Alcotest.test_case "manual cover" `Quick test_cover_manual;
+        Alcotest.test_case "self entries" `Quick test_cover_self_entries_skipped;
+        Alcotest.test_case "ancestors/descendants" `Quick test_cover_ancestors_descendants;
+        Alcotest.test_case "hop center" `Quick test_cover_hop_center;
+        Alcotest.test_case "set labels" `Quick test_cover_set_labels;
+        Alcotest.test_case "remove node" `Quick test_cover_remove_node;
+        Alcotest.test_case "union_into" `Quick test_cover_union_into;
+      ] );
+    ("twohop.uncovered", [ Alcotest.test_case "basics" `Quick test_uncovered_basics ]);
+    ( "twohop.densest",
+      [
+        Alcotest.test_case "complete bipartite" `Quick test_densest_complete_bipartite;
+        Alcotest.test_case "picks dense part" `Quick test_densest_picks_dense_part;
+        Alcotest.test_case "no edges" `Quick test_densest_no_edges;
+        Alcotest.test_case "node on both sides" `Quick test_densest_shared_node_both_sides;
+      ] );
+    ( "twohop.builder",
+      [
+        Alcotest.test_case "diamond" `Quick test_builder_diamond;
+        Alcotest.test_case "isolated" `Quick test_builder_empty_graph;
+        Alcotest.test_case "chain" `Quick test_builder_chain;
+        Alcotest.test_case "cycle" `Quick test_builder_cycle;
+        Alcotest.test_case "dense bipartite" `Quick test_builder_dense_bipartite;
+        Alcotest.test_case "hub compression" `Quick test_builder_hub_compression;
+        Alcotest.test_case "self loop" `Quick test_builder_self_loop;
+        Alcotest.test_case "preselect" `Quick test_builder_preselect_correct;
+        Alcotest.test_case "preselect unknown" `Quick test_builder_preselect_unknown_center;
+        Alcotest.test_case "eager = lazy" `Quick test_builder_eager_matches_lazy;
+        Alcotest.test_case "only_pairs" `Quick test_builder_only_pairs;
+      ]
+      @ qsuite [ prop_builder_exact; prop_builder_not_larger_than_closure ] );
+    ( "twohop.dist",
+      [
+        Alcotest.test_case "diamond" `Quick test_dist_builder_diamond;
+        Alcotest.test_case "chain" `Quick test_dist_builder_chain;
+        Alcotest.test_case "two paths" `Quick test_dist_builder_two_paths;
+        Alcotest.test_case "sampling mode" `Quick test_dist_builder_sampling_mode;
+      ]
+      @ qsuite [ prop_dist_builder_exact ] );
+  ]

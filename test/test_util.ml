@@ -1,0 +1,325 @@
+(* Tests for hopi_util: Int_set, Int_hashset, Bitset, Dyn_array, Heap,
+   Splitmix, Stats. *)
+
+open Hopi_util
+
+let check_list = Alcotest.(check (list int))
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* {1 Int_set} *)
+
+let test_int_set_of_list () =
+  check_list "sorted dedup" [ 1; 2; 3 ] Int_set.(to_list (of_list [ 3; 1; 2; 3; 1 ]));
+  check_list "empty" [] Int_set.(to_list (of_list []))
+
+let test_int_set_mem () =
+  let s = Int_set.of_list [ 2; 4; 6; 8; 10 ] in
+  List.iter (fun x -> check_bool (string_of_int x) true (Int_set.mem x s)) [ 2; 4; 6; 8; 10 ];
+  List.iter (fun x -> check_bool (string_of_int x) false (Int_set.mem x s)) [ 1; 3; 5; 7; 9; 11; 0; -1 ]
+
+let test_int_set_add_remove () =
+  let s = Int_set.of_list [ 1; 5; 9 ] in
+  check_list "add mid" [ 1; 3; 5; 9 ] Int_set.(to_list (add 3 s));
+  check_list "add front" [ 0; 1; 5; 9 ] Int_set.(to_list (add 0 s));
+  check_list "add back" [ 1; 5; 9; 12 ] Int_set.(to_list (add 12 s));
+  check_list "add existing" [ 1; 5; 9 ] Int_set.(to_list (add 5 s));
+  check_list "remove mid" [ 1; 9 ] Int_set.(to_list (remove 5 s));
+  check_list "remove missing" [ 1; 5; 9 ] Int_set.(to_list (remove 4 s))
+
+let test_int_set_set_ops () =
+  let a = Int_set.of_list [ 1; 2; 3; 4 ] and b = Int_set.of_list [ 3; 4; 5; 6 ] in
+  check_list "union" [ 1; 2; 3; 4; 5; 6 ] Int_set.(to_list (union a b));
+  check_list "inter" [ 3; 4 ] Int_set.(to_list (inter a b));
+  check_list "diff" [ 1; 2 ] Int_set.(to_list (diff a b));
+  check_bool "inter_is_empty no" false (Int_set.inter_is_empty a b);
+  check_bool "inter_is_empty yes" true
+    Int_set.(inter_is_empty (of_list [ 1; 2 ]) (of_list [ 3; 4 ]));
+  Alcotest.(check (option int)) "choose_inter" (Some 3) (Int_set.choose_inter a b);
+  check_bool "subset yes" true Int_set.(subset (of_list [ 2; 3 ]) a);
+  check_bool "subset no" false (Int_set.subset a b)
+
+let test_int_set_minmax () =
+  let s = Int_set.of_list [ 7; 3; 9 ] in
+  check_int "min" 3 (Int_set.min_elt s);
+  check_int "max" 9 (Int_set.max_elt s);
+  Alcotest.check_raises "min empty" Not_found (fun () ->
+      ignore (Int_set.min_elt Int_set.empty))
+
+(* qcheck properties for Int_set *)
+
+let int_list = QCheck2.Gen.(list_size (int_bound 40) (int_bound 100))
+
+let prop_union_is_set_union =
+  QCheck2.Test.make ~name:"Int_set.union = List union" ~count:200
+    QCheck2.Gen.(pair int_list int_list)
+    (fun (xs, ys) ->
+      let expected = List.sort_uniq compare (xs @ ys) in
+      Int_set.(to_list (union (of_list xs) (of_list ys))) = expected)
+
+let prop_inter_is_set_inter =
+  QCheck2.Test.make ~name:"Int_set.inter = List inter" ~count:200
+    QCheck2.Gen.(pair int_list int_list)
+    (fun (xs, ys) ->
+      let expected =
+        List.sort_uniq compare (List.filter (fun x -> List.mem x ys) xs)
+      in
+      Int_set.(to_list (inter (of_list xs) (of_list ys))) = expected)
+
+let prop_diff_is_set_diff =
+  QCheck2.Test.make ~name:"Int_set.diff = List diff" ~count:200
+    QCheck2.Gen.(pair int_list int_list)
+    (fun (xs, ys) ->
+      let expected =
+        List.sort_uniq compare (List.filter (fun x -> not (List.mem x ys)) xs)
+      in
+      Int_set.(to_list (diff (of_list xs) (of_list ys))) = expected)
+
+let prop_mem_matches_list =
+  QCheck2.Test.make ~name:"Int_set.mem = List.mem" ~count:200
+    QCheck2.Gen.(pair int_list (int_bound 100))
+    (fun (xs, x) -> Int_set.mem x (Int_set.of_list xs) = List.mem x xs)
+
+(* {1 Int_hashset} *)
+
+let test_hashset_basic () =
+  let h = Int_hashset.create () in
+  check_bool "empty" true (Int_hashset.is_empty h);
+  Int_hashset.add h 5;
+  Int_hashset.add h 5;
+  Int_hashset.add h 7;
+  check_int "cardinal dedups" 2 (Int_hashset.cardinal h);
+  check_bool "mem" true (Int_hashset.mem h 5);
+  Int_hashset.remove h 5;
+  check_bool "removed" false (Int_hashset.mem h 5);
+  check_list "to_int_set" [ 7 ] Int_set.(to_list (Int_hashset.to_int_set h))
+
+let test_hashset_roundtrip () =
+  let s = Int_set.of_list [ 3; 1; 4; 1; 5; 9; 2; 6 ] in
+  check_bool "roundtrip" true
+    (Int_set.equal s (Int_hashset.to_int_set (Int_hashset.of_int_set s)))
+
+(* {1 Bitset} *)
+
+let test_bitset_basic () =
+  let b = Bitset.create 20 in
+  check_int "empty cardinal" 0 (Bitset.cardinal b);
+  Bitset.set b 0;
+  Bitset.set b 7;
+  Bitset.set b 8;
+  Bitset.set b 19;
+  check_int "cardinal" 4 (Bitset.cardinal b);
+  check_bool "get set" true (Bitset.get b 7);
+  check_bool "get unset" false (Bitset.get b 6);
+  Bitset.unset b 7;
+  check_bool "unset" false (Bitset.get b 7);
+  check_list "to_int_set" [ 0; 8; 19 ] Int_set.(to_list (Bitset.to_int_set b))
+
+let test_bitset_union () =
+  let a = Bitset.create 16 and b = Bitset.create 16 in
+  Bitset.set a 1;
+  Bitset.set b 2;
+  Bitset.set b 1;
+  let changed = Bitset.union_into ~dst:a b in
+  check_bool "changed" true changed;
+  check_list "union" [ 1; 2 ] Int_set.(to_list (Bitset.to_int_set a));
+  let changed2 = Bitset.union_into ~dst:a b in
+  check_bool "no change" false changed2
+
+let test_bitset_bounds () =
+  let b = Bitset.create 8 in
+  Alcotest.check_raises "oob set" (Invalid_argument "Bitset: index 8 out of [0,8)")
+    (fun () -> Bitset.set b 8);
+  Alcotest.check_raises "neg get" (Invalid_argument "Bitset: index -1 out of [0,8)")
+    (fun () -> ignore (Bitset.get b (-1)))
+
+let test_bitset_inter_cardinal () =
+  let a = Bitset.create 32 and b = Bitset.create 32 in
+  List.iter (Bitset.set a) [ 1; 2; 3; 30 ];
+  List.iter (Bitset.set b) [ 2; 3; 4; 31 ];
+  check_int "inter" 2 (Bitset.inter_cardinal a b)
+
+(* {1 Dyn_array} *)
+
+let test_dyn_array () =
+  let d = Dyn_array.create () in
+  for i = 0 to 99 do
+    Dyn_array.push d (i * i)
+  done;
+  check_int "length" 100 (Dyn_array.length d);
+  check_int "get" 81 (Dyn_array.get d 9);
+  Dyn_array.set d 9 (-1);
+  check_int "set" (-1) (Dyn_array.get d 9);
+  check_int "pop" 9801 (Dyn_array.pop d);
+  check_int "after pop" 99 (Dyn_array.length d);
+  check_int "last" 9604 (Dyn_array.last d);
+  Alcotest.check_raises "oob" (Invalid_argument "Dyn_array: index 99 out of [0,99)")
+    (fun () -> ignore (Dyn_array.get d 99))
+
+(* {1 Heap} *)
+
+let test_heap_order () =
+  let h = Heap.create () in
+  List.iter (fun (p, x) -> Heap.push h ~prio:p x)
+    [ (1.0, "a"); (5.0, "b"); (3.0, "c"); (4.0, "d"); (2.0, "e") ];
+  let order = ref [] in
+  let rec drain () =
+    match Heap.pop_max h with
+    | Some (_, x) ->
+      order := x :: !order;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list string)) "max first" [ "b"; "d"; "c"; "e"; "a" ]
+    (List.rev !order)
+
+let prop_heap_sorts =
+  QCheck2.Test.make ~name:"Heap pops in decreasing priority" ~count:200
+    QCheck2.Gen.(list_size (int_bound 50) (float_bound_inclusive 100.0))
+    (fun ps ->
+      let h = Heap.create () in
+      List.iter (fun p -> Heap.push h ~prio:p ()) ps;
+      let rec drain acc =
+        match Heap.pop_max h with
+        | Some (p, ()) -> drain (p :: acc)
+        | None -> acc
+      in
+      let popped = drain [] in
+      (* popped is reversed: increasing *)
+      popped = List.sort compare popped)
+
+(* {1 Splitmix} *)
+
+let test_splitmix_deterministic () =
+  let a = Splitmix.create 7 and b = Splitmix.create 7 in
+  for _ = 1 to 100 do
+    check_bool "same stream" true (Splitmix.next_int64 a = Splitmix.next_int64 b)
+  done
+
+let test_splitmix_bounds () =
+  let rng = Splitmix.create 1 in
+  for _ = 1 to 1000 do
+    let x = Splitmix.int rng 10 in
+    check_bool "in range" true (x >= 0 && x < 10);
+    let f = Splitmix.float rng 2.5 in
+    check_bool "float range" true (f >= 0.0 && f < 2.5)
+  done
+
+let test_splitmix_shuffle_permutes () =
+  let rng = Splitmix.create 3 in
+  let a = Array.init 50 Fun.id in
+  Splitmix.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check_list "permutation" (List.init 50 Fun.id) (Array.to_list sorted)
+
+(* {1 Union_find} *)
+
+let test_union_find () =
+  let uf = Union_find.create () in
+  check_bool "singleton" true (Union_find.find uf 1 = 1);
+  Union_find.union uf 1 2;
+  Union_find.union uf 3 4;
+  check_bool "1~2" true (Union_find.same uf 1 2);
+  check_bool "3~4" true (Union_find.same uf 3 4);
+  check_bool "1!~3" false (Union_find.same uf 1 3);
+  Union_find.union uf 2 3;
+  check_bool "transitive" true (Union_find.same uf 1 4);
+  let classes = Union_find.classes uf in
+  check_int "one class" 1 (Hashtbl.length classes);
+  Hashtbl.iter (fun _ members -> check_int "four members" 4 (List.length members)) classes
+
+let prop_union_find_is_partition =
+  QCheck2.Test.make ~name:"Union_find classes partition the keys" ~count:100
+    QCheck2.Gen.(list_size (int_bound 50) (pair (int_bound 20) (int_bound 20)))
+    (fun pairs ->
+      let uf = Union_find.create () in
+      List.iter (fun (a, b) -> Union_find.union uf a b) pairs;
+      let classes = Union_find.classes uf in
+      let seen = Hashtbl.create 16 in
+      let ok = ref true in
+      Hashtbl.iter
+        (fun repr members ->
+          List.iter
+            (fun m ->
+              if Hashtbl.mem seen m then ok := false;
+              Hashtbl.replace seen m ();
+              if Union_find.find uf m <> Union_find.find uf repr then ok := false)
+            members)
+        classes;
+      !ok)
+
+(* {1 Stats} *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_stats_mean_stddev () =
+  check_float "mean" 3.0 (Stats.mean [| 1.0; 2.0; 3.0; 4.0; 5.0 |]);
+  check_float "stddev" (sqrt 2.5) (Stats.stddev [| 1.0; 2.0; 3.0; 4.0; 5.0 |]);
+  check_float "stddev singleton" 0.0 (Stats.stddev [| 42.0 |])
+
+let test_stats_percentile () =
+  let xs = [| 10.0; 20.0; 30.0; 40.0 |] in
+  check_float "p0" 10.0 (Stats.percentile xs 0.0);
+  check_float "p100" 40.0 (Stats.percentile xs 100.0);
+  check_float "p50" 25.0 (Stats.percentile xs 50.0)
+
+let test_stats_ci_upper () =
+  (* 0 successes -> upper bound still >= 0, p=1 with no samples *)
+  check_float "no samples" 1.0 (Stats.proportion_ci_upper ~successes:0 ~samples:0 ~z:2.0);
+  let u = Stats.proportion_ci_upper ~successes:50 ~samples:100 ~z:Stats.z_98 in
+  check_bool "upper > p" true (u > 0.5);
+  check_bool "clamped" true (u <= 1.0);
+  check_float "all hits" 1.0 (Stats.proportion_ci_upper ~successes:100 ~samples:100 ~z:2.0)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suite =
+  [
+    ( "util.int_set",
+      [
+        Alcotest.test_case "of_list" `Quick test_int_set_of_list;
+        Alcotest.test_case "mem" `Quick test_int_set_mem;
+        Alcotest.test_case "add/remove" `Quick test_int_set_add_remove;
+        Alcotest.test_case "set ops" `Quick test_int_set_set_ops;
+        Alcotest.test_case "min/max" `Quick test_int_set_minmax;
+      ]
+      @ qsuite
+          [
+            prop_union_is_set_union;
+            prop_inter_is_set_inter;
+            prop_diff_is_set_diff;
+            prop_mem_matches_list;
+          ] );
+    ( "util.int_hashset",
+      [
+        Alcotest.test_case "basic" `Quick test_hashset_basic;
+        Alcotest.test_case "roundtrip" `Quick test_hashset_roundtrip;
+      ] );
+    ( "util.bitset",
+      [
+        Alcotest.test_case "basic" `Quick test_bitset_basic;
+        Alcotest.test_case "union_into" `Quick test_bitset_union;
+        Alcotest.test_case "bounds" `Quick test_bitset_bounds;
+        Alcotest.test_case "inter_cardinal" `Quick test_bitset_inter_cardinal;
+      ] );
+    ("util.dyn_array", [ Alcotest.test_case "basic" `Quick test_dyn_array ]);
+    ( "util.heap",
+      Alcotest.test_case "order" `Quick test_heap_order :: qsuite [ prop_heap_sorts ] );
+    ( "util.splitmix",
+      [
+        Alcotest.test_case "deterministic" `Quick test_splitmix_deterministic;
+        Alcotest.test_case "bounds" `Quick test_splitmix_bounds;
+        Alcotest.test_case "shuffle" `Quick test_splitmix_shuffle_permutes;
+      ] );
+    ( "util.union_find",
+      Alcotest.test_case "basic" `Quick test_union_find
+      :: qsuite [ prop_union_find_is_partition ] );
+    ( "util.stats",
+      [
+        Alcotest.test_case "mean/stddev" `Quick test_stats_mean_stddev;
+        Alcotest.test_case "percentile" `Quick test_stats_percentile;
+        Alcotest.test_case "ci upper" `Quick test_stats_ci_upper;
+      ] );
+  ]
