@@ -46,3 +46,14 @@ let print_table header rows =
 
 let total_closure c =
   Hopi_graph.Closure.count_connections (Collection.element_graph c)
+
+(* Run one experiment with a clean metrics registry and span list, then
+   snapshot both to BENCH_<name>.json so per-phase timings and counters can
+   be compared across runs without scraping the printed tables. *)
+let with_metrics name f =
+  Hopi_obs.Registry.reset ();
+  Hopi_obs.Trace.reset ();
+  Fun.protect f ~finally:(fun () ->
+      let path = Printf.sprintf "BENCH_%s.json" name in
+      Hopi_obs.Export.write_json path;
+      note "metrics snapshot: %s" path)

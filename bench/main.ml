@@ -41,8 +41,9 @@ let run_experiments names scale_factor =
             exit 2)
         names
   in
+  Hopi_obs.Log_setup.setup ();
   let t0 = Hopi_util.Timer.start () in
-  List.iter (fun (_, _, f) -> f scale) todo;
+  List.iter (fun (name, _, f) -> Bench_common.with_metrics name (fun () -> f scale)) todo;
   Fmt.pr "@.total bench time: %a@." Hopi_util.Timer.pp_duration
     (Hopi_util.Timer.elapsed_s t0)
 

@@ -66,8 +66,61 @@ let make_tests (s : Bench_common.scale) =
           ignore (Cover.descendants cover u)));
     ]
 
+(* Metric-recording overhead: a counter increment and a histogram sample
+   must stay in the low-nanosecond range and allocate nothing, or the hot
+   paths (reachability probes, page lookups) could not afford them. *)
+let obs_overhead () =
+  Bench_common.section "micro: observability recording overhead";
+  let cnt =
+    Hopi_obs.Registry.counter "hopi_micro_overhead_counter_total"
+      ~help:"Micro-benchmark scratch counter"
+  in
+  let h =
+    Hopi_obs.Registry.histogram "hopi_micro_overhead_histogram"
+      ~help:"Micro-benchmark scratch histogram"
+  in
+  let n = 1_000_000 in
+  for i = 1 to 1_000 do
+    Hopi_obs.Counter.incr cnt;
+    Hopi_obs.Histogram.observe h i
+  done;
+  let measure name f =
+    let w0 = Gc.minor_words () in
+    let t0 = Hopi_util.Timer.start () in
+    f ();
+    let ns = Int64.to_float (Hopi_util.Timer.elapsed_ns t0) in
+    let words = Gc.minor_words () -. w0 in
+    (name, ns /. float_of_int n, words /. float_of_int n)
+  in
+  let rows =
+    [
+      measure "counter.incr" (fun () ->
+          for _ = 1 to n do
+            Hopi_obs.Counter.incr cnt
+          done);
+      measure "histogram.observe" (fun () ->
+          for i = 1 to n do
+            Hopi_obs.Histogram.observe h i
+          done);
+    ]
+  in
+  Bench_common.print_table
+    [ "benchmark"; "ns/op"; "minor words/op" ]
+    (List.map
+       (fun (name, ns, words) -> [ name; Fmt.str "%.1f" ns; Fmt.str "%.4f" words ])
+       rows);
+  List.iter
+    (fun (name, _, words) ->
+      (* a whole minor heap of slack for the measurement scaffolding itself;
+         any per-op allocation would show up as >= 1.0 *)
+      if words > 0.01 then
+        failwith (Printf.sprintf "%s allocates %.4f words/op on the hot path" name words))
+    rows;
+  Bench_common.note "recording is allocation-free on the hot path."
+
 let run (s : Bench_common.scale) =
   Bench_common.section "micro: query latency (bechamel)";
+  obs_overhead ();
   let tests = make_tests s in
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in

@@ -30,10 +30,13 @@ let load_dir dir =
     files;
   c
 
-let setup_logs verbose =
-  Fmt_tty.setup_std_outputs ();
-  Logs.set_reporter (Logs_fmt.reporter ());
-  Logs.set_level (if verbose then Some Logs.Info else Some Logs.Warning)
+let setup_logs verbose = Hopi_obs.Log_setup.setup ~verbose ()
+
+let write_metrics = function
+  | None -> ()
+  | Some path ->
+    Hopi_obs.Export.write_json path;
+    Fmt.pr "metrics written to %s@." path
 
 let config_of_flags partitioner joiner limit domains =
   let partitioner =
@@ -77,7 +80,7 @@ let gen kind docs out =
 
 (* {1 build} *)
 
-let build dir partitioner joiner limit domains verbose store_path =
+let build dir partitioner joiner limit domains verbose store_path metrics_path =
   setup_logs verbose;
   let c = load_dir dir in
   Fmt.pr "collection: %d docs, %d elements, %d links (%d unresolved references)@."
@@ -92,16 +95,17 @@ let build dir partitioner joiner limit domains verbose store_path =
     Timer.pp_duration r.Build.join_seconds;
   Fmt.pr "cover: %d entries over %d partitions (%d from the join)@." (Hopi.size idx)
     r.Build.partitioning.Hopi_collection.Partitioning.n r.Build.join_entries;
-  match store_path with
-  | None -> ()
-  | Some path ->
-    let pager = Hopi_storage.Pager.create ~pool_pages:512 (Hopi_storage.Pager.File path) in
-    let store = Hopi.to_store idx pager in
-    Hopi_storage.Cover_store.save store;
-    Fmt.pr "stored %d LIN/LOUT rows on %d pages in %s@."
-      (Hopi_storage.Cover_store.n_entries store)
-      (Hopi_storage.Pager.n_pages pager) path;
-    Hopi_storage.Pager.close pager
+  (match store_path with
+   | None -> ()
+   | Some path ->
+     let pager = Hopi_storage.Pager.create ~pool_pages:512 (Hopi_storage.Pager.File path) in
+     let store = Hopi.to_store idx pager in
+     Hopi_storage.Cover_store.save store;
+     Fmt.pr "stored %d LIN/LOUT rows on %d pages in %s@."
+       (Hopi_storage.Cover_store.n_entries store)
+       (Hopi_storage.Pager.n_pages pager) path;
+     Hopi_storage.Pager.close pager);
+  write_metrics metrics_path
 
 (* {1 inspect} *)
 
@@ -119,7 +123,7 @@ let inspect path =
 
 (* {1 query} *)
 
-let query dir expr_str top distance =
+let query dir expr_str top distance metrics_path =
   let c = load_dir dir in
   let idx = Hopi.create c in
   let expr = Hopi_query.Path_expr.parse_exn expr_str in
@@ -136,7 +140,26 @@ let query dir expr_str top distance =
       in
       Fmt.pr "%3d. score %.3f  %s@." (i + 1) m.Hopi_query.Eval.score
         (String.concat " -> " (List.map render m.Hopi_query.Eval.path)))
-    matches
+    matches;
+  write_metrics metrics_path
+
+(* {1 metrics} *)
+
+let metrics dir format verbose =
+  setup_logs verbose;
+  (* with a corpus argument, build (and so exercise) the index first so the
+     dump reflects a real workload; without one, dump the metric catalog *)
+  (match dir with
+   | None -> ()
+   | Some d ->
+     let c = load_dir d in
+     let idx = Hopi.create c in
+     ignore (Hopi.size idx));
+  match format with
+  | "human" -> Fmt.pr "%a@." (fun ppf () -> Hopi_obs.Export.pp ppf ()) ()
+  | "json" -> print_string (Hopi_obs.Export.to_json ())
+  | "prometheus" | "prom" -> print_string (Hopi_obs.Export.prometheus ())
+  | f -> failwith (Printf.sprintf "unknown format %S (human|json|prometheus)" f)
 
 (* {1 check} *)
 
@@ -161,6 +184,10 @@ let partitioner_arg =
 
 let joiner_arg = Arg.(value & opt string "psg" & info [ "joiner" ] ~docv:"psg|incremental")
 
+let metrics_arg =
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+         ~doc:"Write a JSON snapshot of all metrics and spans to $(docv).")
+
 let limit_arg =
   let doc = "Partition limit (elements for random, connections for closure)." in
   Arg.(value & opt int 100_000 & info [ "limit" ] ~doc)
@@ -184,14 +211,25 @@ let build_cmd =
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log progress.") in
   Cmd.v (Cmd.info "build" ~doc:"Build the HOPI index and print statistics")
     Term.(const build $ dir_arg $ partitioner_arg $ joiner_arg $ limit_arg
-          $ domains $ verbose $ store)
+          $ domains $ verbose $ store $ metrics_arg)
 
 let query_cmd =
   let expr = Arg.(required & pos 1 (some string) None & info [] ~docv:"EXPR") in
   let top = Arg.(value & opt int 20 & info [ "top" ]) in
   let distance = Arg.(value & flag & info [ "distance" ] ~doc:"Rank by link distance.") in
   Cmd.v (Cmd.info "query" ~doc:"Evaluate a path expression (//a//b, ~tag, *, [predicates])")
-    Term.(const query $ dir_arg $ expr $ top $ distance)
+    Term.(const query $ dir_arg $ expr $ top $ distance $ metrics_arg)
+
+let metrics_cmd =
+  let dir = Arg.(value & pos 0 (some dir) None & info [] ~docv:"DIR") in
+  let format =
+    Arg.(value & opt string "human" & info [ "format" ] ~docv:"human|json|prometheus")
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log progress.") in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:"Dump the metrics registry (after building DIR's index, if given)")
+    Term.(const metrics $ dir $ format $ verbose)
 
 let check_cmd =
   Cmd.v (Cmd.info "check" ~doc:"Verify the index against BFS reachability")
@@ -204,4 +242,7 @@ let inspect_cmd =
 
 let () =
   let doc = "HOPI: a 2-hop-cover connection index for linked XML collections" in
-  exit (Cmd.eval (Cmd.group (Cmd.info "hopi" ~doc) [ gen_cmd; build_cmd; query_cmd; check_cmd; inspect_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "hopi" ~doc)
+          [ gen_cmd; build_cmd; query_cmd; check_cmd; inspect_cmd; metrics_cmd ]))

@@ -13,6 +13,8 @@ module Dblp = Hopi_workload.Dblp_gen
 module Timer = Hopi_util.Timer
 open Hopi_query
 
+let () = Hopi_obs.Log_setup.setup ()
+
 let () =
   let n_docs = 60 in
   Fmt.pr "generating a %d-publication citation network...@." n_docs;

@@ -13,6 +13,8 @@ module Cover_store = Hopi_storage.Cover_store
 module Dblp = Hopi_workload.Dblp_gen
 module Timer = Hopi_util.Timer
 
+let () = Hopi_obs.Log_setup.setup ()
+
 let () =
   let c = Dblp.generate (Dblp.default ~n_docs:60) in
   let g = Collection.element_graph c in

@@ -13,6 +13,8 @@ module Dblp = Hopi_workload.Dblp_gen
 module Splitmix = Hopi_util.Splitmix
 module Timer = Hopi_util.Timer
 
+let () = Hopi_obs.Log_setup.setup ()
+
 let () =
   let c = Dblp.generate (Dblp.default ~n_docs:120) in
   Fmt.pr "collection: %d documents, %d elements, %d links@." (Collection.n_docs c)

@@ -13,6 +13,8 @@ module Dblp = Hopi_workload.Dblp_gen
 module Splitmix = Hopi_util.Splitmix
 module Timer = Hopi_util.Timer
 
+let () = Hopi_obs.Log_setup.setup ()
+
 let () =
   let cfg = Dblp.default ~n_docs:40 in
   let c = Dblp.generate cfg in

@@ -6,6 +6,8 @@
 module Collection = Hopi_collection.Collection
 module Hopi = Hopi_core.Hopi
 
+let () = Hopi_obs.Log_setup.setup ()
+
 let () =
   (* A tiny bibliographic collection: thesis.xml cites book.xml, which in
      turn references survey.xml.  Documents are plain XML with XLink

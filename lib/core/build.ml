@@ -10,6 +10,50 @@ let log = Logs.Src.create "hopi.build" ~doc:"HOPI index construction"
 
 module Log = (val Logs.src_log log : Logs.LOG)
 
+(* {1 Metrics} — created once at module init; recording is atomic and
+   allocation-free, so the multi-domain cover workers report safely. *)
+
+module Counter = Hopi_obs.Counter
+module Histogram = Hopi_obs.Histogram
+module Trace = Hopi_obs.Trace
+module Registry = Hopi_obs.Registry
+
+let m_builds = Registry.counter "hopi_build_total" ~help:"Index builds started"
+
+let m_partition_entries =
+  Registry.counter "hopi_build_partition_entries_total"
+    ~help:"Cover entries produced by per-partition covers"
+
+let m_join_entries =
+  Registry.counter "hopi_build_join_entries_total"
+    ~help:"Cover entries added by the cross-partition join"
+
+let m_cover_entries =
+  Registry.counter "hopi_build_cover_entries_total"
+    ~help:"Total cover entries of finished builds"
+
+let m_closure_connections =
+  Registry.counter "hopi_build_closure_connections_total"
+    ~help:"Transitive-closure connections materialised across partitions"
+
+let h_partitions =
+  Registry.histogram "hopi_build_partitions"
+    ~help:"Partitions per build"
+
+let h_build_ns =
+  Registry.histogram "hopi_build_duration_ns" ~help:"End-to-end build time"
+
+let h_partition_ns =
+  Registry.histogram "hopi_build_partition_duration_ns"
+    ~help:"Partitioning-phase time"
+
+let h_cover_ns =
+  Registry.histogram "hopi_build_cover_duration_ns"
+    ~help:"Per-partition cover phase time"
+
+let h_join_ns =
+  Registry.histogram "hopi_build_join_duration_ns" ~help:"Join-phase time"
+
 type result = {
   cover : Cover.t;
   partitioning : Partitioning.t;
@@ -35,12 +79,19 @@ let make_partitioning (config : Config.t) c =
     Hopi_partition.Closure_partitioner.partition ~seed:config.Config.seed
       ~max_connections c dg
 
-let build (config : Config.t) c =
+let run_build (config : Config.t) c =
   let t0 = Timer.start () in
   Log.info (fun m ->
       m "building index for %d documents / %d elements (%a)" (Collection.n_docs c)
         (Collection.n_elements c) Config.pp config);
-  let partitioning, partition_seconds = Timer.time (fun () -> make_partitioning config c) in
+  let partitioning, partition_seconds =
+    Trace.with_span "build.partition" (fun () ->
+        Timer.time (fun () -> make_partitioning config c))
+  in
+  Histogram.observe h_partition_ns (Timer.ns_of_s partition_seconds);
+  Histogram.observe h_partitions partitioning.Partitioning.n;
+  Trace.add "partitions" partitioning.Partitioning.n;
+  Trace.add "cross_links" (List.length partitioning.Partitioning.cross_links);
   Log.info (fun m ->
       m "partitioned into %d partitions (%d cross links) in %.2fs"
         partitioning.Partitioning.n
@@ -70,7 +121,8 @@ let build (config : Config.t) c =
   in
   let n_partitions = partitioning.Partitioning.n in
   let results, cover_seconds =
-    Timer.time (fun () ->
+    Trace.with_span "build.cover" (fun () ->
+        Timer.time (fun () ->
         let workers = max 1 (min config.Config.domains n_partitions) in
         if workers = 1 then Array.init n_partitions cover_one
         else begin
@@ -90,8 +142,9 @@ let build (config : Config.t) c =
           worker ();
           List.iter Domain.join spawned;
           Array.map (function Some r -> r | None -> assert false) results
-        end)
+        end))
   in
+  Histogram.observe h_cover_ns (Timer.ns_of_s cover_seconds);
   let partition_covers = Array.map fst results in
   Array.iter (fun (_, n) -> closure_connections := !closure_connections + n) results;
   let partition_entries =
@@ -100,10 +153,15 @@ let build (config : Config.t) c =
   Log.info (fun m ->
       m "partition covers: %d entries over %d closure connections in %.2fs"
         partition_entries !closure_connections cover_seconds);
+  Counter.add m_partition_entries partition_entries;
+  Counter.add m_closure_connections !closure_connections;
+  Trace.add "partition_entries" partition_entries;
+  Trace.add "closure_connections" !closure_connections;
   let final = Cover.create ~initial:(Collection.n_elements c) () in
   Array.iter (fun cov -> Cover.union_into ~dst:final cov) partition_covers;
   let join_entries, join_seconds =
-    Timer.time (fun () ->
+    Trace.with_span "build.join" (fun () ->
+        Timer.time (fun () ->
         match config.Config.joiner with
         | Config.Incremental ->
           (Join_incremental.join final partitioning.Partitioning.cross_links)
@@ -117,8 +175,14 @@ let build (config : Config.t) c =
           (Join_psg.join ~strategy:(Join_psg.Partitioned budget) c partitioning
              ~partition_cover:(fun p -> partition_covers.(p))
              ~final)
-            .Join_psg.entries_added)
+            .Join_psg.entries_added))
   in
+  Histogram.observe h_join_ns (Timer.ns_of_s join_seconds);
+  Counter.add m_join_entries join_entries;
+  Counter.add m_cover_entries (Cover.size final);
+  Trace.add "join_entries" join_entries;
+  Trace.add "cover_entries" (Cover.size final);
+  Histogram.observe h_build_ns (Int64.to_int (Timer.elapsed_ns t0));
   Log.info (fun m ->
       m "join added %d entries in %.2fs; total %d entries in %.2fs" join_entries
         join_seconds (Cover.size final) (Timer.elapsed_s t0));
@@ -134,6 +198,10 @@ let build (config : Config.t) c =
     cover_seconds;
     join_seconds;
   }
+
+let build (config : Config.t) c =
+  Counter.incr m_builds;
+  Trace.with_span "build" (fun () -> run_build config c)
 
 let compression r =
   if Cover.size r.cover = 0 then 1.0

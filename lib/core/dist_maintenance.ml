@@ -6,11 +6,39 @@ module Collection = Hopi_collection.Collection
 module Doc_graph = Hopi_collection.Doc_graph
 module Ihs = Hopi_util.Int_hashset
 module Timer = Hopi_util.Timer
+module Counter = Hopi_obs.Counter
+module Histogram = Hopi_obs.Histogram
+module Registry = Hopi_obs.Registry
+
+let m_insert_edges =
+  Registry.counter "hopi_dist_maint_insert_edges_total"
+    ~help:"Edge insertions into the distance-aware cover"
+
+let m_insert_documents =
+  Registry.counter "hopi_dist_maint_insert_documents_total"
+    ~help:"Document insertions into the distance-aware cover"
+
+let m_delete_documents =
+  Registry.counter "hopi_dist_maint_delete_documents_total"
+    ~help:"Document deletions from the distance-aware cover"
+
+let m_delete_separating =
+  Registry.counter "hopi_dist_maint_delete_separating_total"
+    ~help:"Distance-aware deletions taking the strict separating fast path"
+
+let m_delete_general =
+  Registry.counter "hopi_dist_maint_delete_general_total"
+    ~help:"Distance-aware deletions taking the general recomputation path"
+
+let h_delete_ns =
+  Registry.histogram "hopi_dist_maint_delete_duration_ns"
+    ~help:"Distance-aware document deletion time"
 
 (* d_new(a,y) = min(d_old(a,y), d_old(a,u) + 1 + d_old(v,y)): the target [v]
    becomes the center of all shortened connections, carrying exact new
    distances. *)
 let insert_edge dc u v =
+  Counter.incr m_insert_edges;
   Dist_cover.add_node dc u;
   Dist_cover.add_node dc v;
   let d_av a =
@@ -38,6 +66,7 @@ let insert_edge dc u v =
     !descendants
 
 let insert_document c dc ~name root =
+  Counter.incr m_insert_documents;
   let links_before = Hashtbl.create 64 in
   List.iter (fun l -> Hashtbl.replace links_before l ()) (Collection.inter_links c);
   let did = Collection.add_document c ~name root in
@@ -115,9 +144,11 @@ let delete_general c dc did =
   Ihs.cardinal r
 
 let delete_document c dc did =
+  Counter.incr m_delete_documents;
   let (sep, anc, desc), test_seconds =
     Timer.time (fun () -> separates_strictly c did)
   in
+  Counter.incr (if sep then m_delete_separating else m_delete_general);
   let recomputed = ref 0 in
   let (), delete_seconds =
     Timer.time (fun () ->
@@ -125,6 +156,7 @@ let delete_document c dc did =
         else recomputed := delete_general c dc did;
         Collection.remove_document c did)
   in
+  Histogram.observe h_delete_ns (Timer.ns_of_s delete_seconds);
   {
     Maintenance.separating = sep;
     test_seconds;

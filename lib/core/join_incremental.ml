@@ -8,10 +8,25 @@
 
 module Cover = Hopi_twohop.Cover
 module Ihs = Hopi_util.Int_hashset
+module Counter = Hopi_obs.Counter
+module Registry = Hopi_obs.Registry
+module Trace = Hopi_obs.Trace
+
+let m_joins =
+  Registry.counter "hopi_join_incremental_total" ~help:"Incremental joins run"
+
+let m_links =
+  Registry.counter "hopi_join_incremental_links_total"
+    ~help:"Cross-partition links processed by incremental joins"
+
+let m_entries =
+  Registry.counter "hopi_join_incremental_entries_total"
+    ~help:"Cover entries added by incremental joins"
 
 type stats = { links_processed : int; entries_added : int }
 
 let join cover (links : (int * int) list) =
+  Counter.incr m_joins;
   let before = Cover.size cover in
   let n = ref 0 in
   List.iter
@@ -24,4 +39,9 @@ let join cover (links : (int * int) list) =
       Ihs.iter (fun a -> Cover.add_out cover ~node:a ~center:v) ancestors;
       Ihs.iter (fun d -> Cover.add_in cover ~node:d ~center:v) descendants)
     links;
-  { links_processed = !n; entries_added = Cover.size cover - before }
+  let entries_added = Cover.size cover - before in
+  Counter.add m_links !n;
+  Counter.add m_entries entries_added;
+  Trace.add "links_processed" !n;
+  Trace.add "join_entries" entries_added;
+  { links_processed = !n; entries_added }

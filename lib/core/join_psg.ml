@@ -8,6 +8,39 @@ module Int_set = Hopi_util.Int_set
 module Partitioning = Hopi_collection.Partitioning
 module Psg = Hopi_collection.Psg
 
+let log = Logs.Src.create "hopi.join.psg" ~doc:"PSG-based cross-partition join"
+
+module Log = (val Logs.src_log log : Logs.LOG)
+
+module Counter = Hopi_obs.Counter
+module Histogram = Hopi_obs.Histogram
+module Trace = Hopi_obs.Trace
+module Registry = Hopi_obs.Registry
+
+let m_joins = Registry.counter "hopi_join_psg_total" ~help:"PSG joins run"
+
+let m_entries =
+  Registry.counter "hopi_join_psg_entries_total"
+    ~help:"Cover entries added by PSG joins"
+
+let m_fixpoint_rounds =
+  Registry.counter "hopi_join_psg_fixpoint_rounds_total"
+    ~help:"H-bar fixpoint propagation rounds (partitioned strategy)"
+
+let h_psg_nodes =
+  Registry.histogram "hopi_join_psg_nodes" ~help:"PSG nodes per join"
+
+let h_psg_edges =
+  Registry.histogram "hopi_join_psg_edges" ~help:"PSG edges per join"
+
+let h_psg_chunks =
+  Registry.histogram "hopi_join_psg_partitions"
+    ~help:"PSG partitions (chunks) per join"
+
+let h_hbar_targets =
+  Registry.histogram "hopi_join_psg_hbar_targets"
+    ~help:"H-bar target-set size per link source"
+
 type strategy = Bfs | Partitioned of int
 
 type stats = {
@@ -143,6 +176,7 @@ let hbar_partitioned (psg : Psg.t) ~max_connections =
      make a single topological pass insufficient) *)
   let changed = ref true in
   while !changed do
+    Counter.incr m_fixpoint_rounds;
     changed := false;
     List.iter
       (fun (t, s) ->
@@ -163,37 +197,53 @@ let hbar_partitioned (psg : Psg.t) ~max_connections =
   (hbar, !n_chunks)
 
 let join ?(strategy = Bfs) c (p : Partitioning.t) ~partition_cover ~final =
+  Counter.incr m_joins;
   let before = Cover.size final in
   let cover_of_element e = partition_cover (Partitioning.part_of_element p c e) in
   let reaches t s =
     Partitioning.part_of_element p c t = Partitioning.part_of_element p c s
     && Cover.connected (cover_of_element t) t s
   in
-  let psg = Psg.build c p ~reaches_within_partition:reaches in
-  let hbar, psg_partitions =
-    match strategy with
-    | Bfs -> hbar_bfs psg
-    | Partitioned max_connections -> hbar_partitioned psg ~max_connections
+  let psg =
+    Trace.with_span "join.psg.build_psg" (fun () ->
+        Psg.build c p ~reaches_within_partition:reaches)
   in
-  (* Ĥ: copy H̄out(s) to every ancestor of s in s's element partition — the
-     ancestors include s itself, which realises H̄ proper *)
-  Hashtbl.iter
-    (fun s targets ->
-      let ancestors = Cover.ancestors (cover_of_element s) s in
+  Histogram.observe h_psg_nodes (Digraph.n_nodes psg.Psg.graph);
+  Histogram.observe h_psg_edges (Digraph.n_edges psg.Psg.graph);
+  let hbar, psg_partitions =
+    Trace.with_span "join.psg.hbar" (fun () ->
+        match strategy with
+        | Bfs -> hbar_bfs psg
+        | Partitioned max_connections -> hbar_partitioned psg ~max_connections)
+  in
+  Histogram.observe h_psg_chunks psg_partitions;
+  Hashtbl.iter (fun _ targets -> Histogram.observe h_hbar_targets (Ihs.cardinal targets)) hbar;
+  Trace.with_span "join.psg.apply" (fun () ->
+      (* Ĥ: copy H̄out(s) to every ancestor of s in s's element partition — the
+         ancestors include s itself, which realises H̄ proper *)
+      Hashtbl.iter
+        (fun s targets ->
+          let ancestors = Cover.ancestors (cover_of_element s) s in
+          Ihs.iter
+            (fun a -> Ihs.iter (fun t -> Cover.add_out final ~node:a ~center:t) targets)
+            ancestors)
+        hbar;
+      (* Ĥ on the in-side: every partition-level descendant of a link target t
+         gets t in its Lin (H̄in(t) = {t} is implicit on t itself) *)
       Ihs.iter
-        (fun a -> Ihs.iter (fun t -> Cover.add_out final ~node:a ~center:t) targets)
-        ancestors)
-    hbar;
-  (* Ĥ on the in-side: every partition-level descendant of a link target t
-     gets t in its Lin (H̄in(t) = {t} is implicit on t itself) *)
-  Ihs.iter
-    (fun t ->
-      let descendants = Cover.descendants (cover_of_element t) t in
-      Ihs.iter (fun d -> Cover.add_in final ~node:d ~center:t) descendants)
-    psg.Psg.targets;
+        (fun t ->
+          let descendants = Cover.descendants (cover_of_element t) t in
+          Ihs.iter (fun d -> Cover.add_in final ~node:d ~center:t) descendants)
+        psg.Psg.targets);
+  let entries_added = Cover.size final - before in
+  Counter.add m_entries entries_added;
+  Log.info (fun m ->
+      m "PSG join: %d nodes / %d edges / %d chunks -> %d entries"
+        (Digraph.n_nodes psg.Psg.graph) (Digraph.n_edges psg.Psg.graph)
+        psg_partitions entries_added);
   {
     psg_nodes = Digraph.n_nodes psg.Psg.graph;
     psg_edges = Digraph.n_edges psg.Psg.graph;
     psg_partitions;
-    entries_added = Cover.size final - before;
+    entries_added;
   }

@@ -13,6 +13,55 @@ let log = Logs.Src.create "hopi.maintenance" ~doc:"HOPI incremental maintenance"
 
 module Log = (val Logs.src_log log : Logs.LOG)
 
+(* {1 Metrics} *)
+
+module Counter = Hopi_obs.Counter
+module Histogram = Hopi_obs.Histogram
+module Trace = Hopi_obs.Trace
+module Registry = Hopi_obs.Registry
+
+let m_insert_edges =
+  Registry.counter "hopi_maint_insert_edges_total" ~help:"Edge insertions"
+
+let m_insert_documents =
+  Registry.counter "hopi_maint_insert_documents_total" ~help:"Document insertions"
+
+let m_insert_subtrees =
+  Registry.counter "hopi_maint_insert_subtrees_total" ~help:"Subtree insertions"
+
+let m_delete_documents =
+  Registry.counter "hopi_maint_delete_documents_total" ~help:"Document deletions"
+
+let m_delete_links =
+  Registry.counter "hopi_maint_delete_links_total" ~help:"Link deletions"
+
+let m_delete_subtrees =
+  Registry.counter "hopi_maint_delete_subtrees_total" ~help:"Subtree deletions"
+
+let m_delete_separating =
+  Registry.counter "hopi_maint_delete_separating_total"
+    ~help:"Deletions taking the Theorem-2 separating fast path"
+
+let m_delete_general =
+  Registry.counter "hopi_maint_delete_general_total"
+    ~help:"Deletions taking the Theorem-3 partial-recomputation path"
+
+let m_recomputed_nodes =
+  Registry.counter "hopi_maint_recomputed_nodes_total"
+    ~help:"Nodes whose closure was recomputed by general deletions"
+
+let h_separation_test_ns =
+  Registry.histogram "hopi_maint_separation_test_duration_ns"
+    ~help:"Document-level separation test time"
+
+let h_delete_ns =
+  Registry.histogram "hopi_maint_delete_duration_ns"
+    ~help:"Document deletion time (either path)"
+
+let h_insert_doc_ns =
+  Registry.histogram "hopi_maint_insert_doc_duration_ns"
+    ~help:"Document insertion time"
+
 type delete_stats = {
   separating : bool;
   test_seconds : float;
@@ -23,6 +72,7 @@ type delete_stats = {
 (* {1 Insertions} *)
 
 let insert_edge cover u v =
+  Counter.incr m_insert_edges;
   ignore (Join_incremental.join cover [ (u, v) ])
 
 let insert_element c cover ~doc ~parent ~tag =
@@ -37,6 +87,9 @@ let insert_link c cover u v =
   kind
 
 let insert_document c cover ~name root =
+  Counter.incr m_insert_documents;
+  Trace.with_span "maint.insert_doc" @@ fun () ->
+  let t0 = Timer.start () in
   Log.info (fun m -> m "inserting document %s" name);
   let links_before = Hashtbl.create 64 in
   List.iter
@@ -60,6 +113,8 @@ let insert_document c cover ~name root =
     List.filter (fun l -> not (Hashtbl.mem links_before l)) (Collection.inter_links c)
   in
   ignore (Join_incremental.join cover new_links);
+  Trace.add "new_links" (List.length new_links);
+  Histogram.observe h_insert_doc_ns (Int64.to_int (Timer.elapsed_ns t0));
   did
 
 (* {1 Deletions} *)
@@ -157,7 +212,11 @@ let delete_general c cover did =
   delete_nodes_general c cover v_di
 
 let delete_document c cover did =
+  Counter.incr m_delete_documents;
+  Trace.with_span "maint.delete_doc" @@ fun () ->
   let (sep, anc, desc), test_seconds = Timer.time (fun () -> separates_with c did) in
+  Histogram.observe h_separation_test_ns (Timer.ns_of_s test_seconds);
+  Counter.incr (if sep then m_delete_separating else m_delete_general);
   Log.info (fun m ->
       m "deleting document %s: %s path (test %.2fms)" (Collection.doc_name c did)
         (if sep then "separating/fast" else "general")
@@ -169,9 +228,14 @@ let delete_document c cover did =
         else recomputed := delete_general c cover did;
         Collection.remove_document c did)
   in
+  Histogram.observe h_delete_ns (Timer.ns_of_s delete_seconds);
+  Counter.add m_recomputed_nodes !recomputed;
+  Trace.add (if sep then "separating" else "general") 1;
+  Trace.add "recomputed_nodes" !recomputed;
   { separating = sep; test_seconds; delete_seconds; recomputed_nodes = !recomputed }
 
 let delete_link c cover u v =
+  Counter.incr m_delete_links;
   let g = Collection.element_graph c in
   let a = Traversal.reachable_backward g [ u ] in
   let d = Traversal.reachable g [ v ] in
@@ -200,6 +264,7 @@ let modify_document c cover did root =
 (* {1 Subtree-level updates and diff-based modification (Section 6.3)} *)
 
 let insert_subtree c cover ~doc ~parent fragment =
+  Counter.incr m_insert_subtrees;
   let created = Collection.add_subtree c ~doc ~parent fragment in
   List.iter (fun e -> Cover.add_node cover e) created;
   (* tree edges: each element hangs under an existing node, so the plain
@@ -232,6 +297,7 @@ let insert_subtree c cover ~doc ~parent fragment =
   created
 
 let delete_subtree c cover eid =
+  Counter.incr m_delete_subtrees;
   let removed = Collection.subtree_elements c eid in
   let v_di = Ihs.create () in
   List.iter (fun e -> Ihs.add v_di e) removed;

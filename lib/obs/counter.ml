@@ -1,0 +1,20 @@
+(* A monotonically increasing counter.  [incr]/[add] compile to a single
+   [Atomic.fetch_and_add] on an immediate int: lock-free, allocation-free,
+   and safe to call concurrently from any domain (the multi-domain
+   partition-cover workers in [Hopi_core.Build] record through these). *)
+
+type t = { name : string; help : string; value : int Atomic.t }
+
+let make ~name ~help = { name; help; value = Atomic.make 0 }
+
+let incr t = ignore (Atomic.fetch_and_add t.value 1)
+
+let add t n = ignore (Atomic.fetch_and_add t.value n)
+
+let get t = Atomic.get t.value
+
+let reset t = Atomic.set t.value 0
+
+let name t = t.name
+
+let help t = t.help

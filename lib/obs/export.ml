@@ -1,0 +1,198 @@
+(* Exporters over the registry and the span store.
+
+   Three formats, one source of truth:
+   - [pp]: human-readable dump (CLI `hopi metrics`, verbose logs);
+   - [to_json]: machine-readable snapshot — the schema shared by
+     `hopi build --metrics` and the bench harness's BENCH_<experiment>.json
+     files, so perf numbers are diffable across PRs;
+   - [prometheus]: Prometheus text exposition format for scraping.
+
+   JSON schema:
+   {
+     "metrics": {
+       "<name>": {"type":"counter","value":N}
+                | {"type":"gauge","value":N}
+                | {"type":"histogram","count":N,"sum":N,"mean":F,
+                   "p50":F,"p95":F,"p99":F,"max":N,
+                   "buckets":[{"le":N,"count":N}, ...]}   (non-empty buckets)
+     },
+     "spans": [ {"name":S,"duration_ns":N,"exclusive_ns":N,
+                 "counters":{"k":N,...},"children":[...]} ... ]
+   } *)
+
+(* {1 A minimal JSON writer} — the toolchain has no JSON library baked in,
+   and the subset we emit (objects, arrays, strings, ints, floats) is small
+   enough to write by hand. *)
+
+let escape_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let add_float b f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Buffer.add_string b (Printf.sprintf "%.1f" f)
+  else Buffer.add_string b (Printf.sprintf "%.6g" f)
+
+let comma_sep b emit xs =
+  List.iteri
+    (fun i x ->
+      if i > 0 then Buffer.add_char b ',';
+      emit x)
+    xs
+
+(* {1 JSON} *)
+
+let json_of_metric b (m : Registry.metric) =
+  match m with
+  | Registry.Counter c ->
+    Buffer.add_string b {|{"type":"counter","value":|};
+    Buffer.add_string b (string_of_int (Counter.get c));
+    Buffer.add_char b '}'
+  | Registry.Gauge g ->
+    Buffer.add_string b {|{"type":"gauge","value":|};
+    Buffer.add_string b (string_of_int (Gauge.get g));
+    Buffer.add_char b '}'
+  | Registry.Histogram h ->
+    let s = Histogram.summary h in
+    Buffer.add_string b
+      (Printf.sprintf {|{"type":"histogram","count":%d,"sum":%d,"mean":|}
+         (Histogram.count h) (Histogram.sum h));
+    add_float b s.Hopi_util.Stats.mean;
+    Buffer.add_string b {|,"p50":|};
+    add_float b s.Hopi_util.Stats.p50;
+    Buffer.add_string b {|,"p95":|};
+    add_float b s.Hopi_util.Stats.p95;
+    Buffer.add_string b {|,"p99":|};
+    add_float b s.Hopi_util.Stats.p99;
+    Buffer.add_string b
+      (Printf.sprintf {|,"max":%d,"buckets":[|} (Histogram.max_value h));
+    let counts = Histogram.bucket_counts h in
+    let nonempty = ref [] in
+    Array.iteri
+      (fun i n -> if n > 0 then nonempty := (Histogram.upper_bound i, n) :: !nonempty)
+      counts;
+    comma_sep b
+      (fun (le, n) ->
+        Buffer.add_string b (Printf.sprintf {|{"le":%d,"count":%d}|} le n))
+      (List.rev !nonempty);
+    Buffer.add_string b "]}"
+
+let metric_name = function
+  | Registry.Counter c -> Counter.name c
+  | Registry.Gauge g -> Gauge.name g
+  | Registry.Histogram h -> Histogram.name h
+
+let rec json_of_span b (sp : Trace.span) =
+  Buffer.add_string b {|{"name":|};
+  escape_string b sp.Trace.name;
+  Buffer.add_string b
+    (Printf.sprintf {|,"duration_ns":%d,"exclusive_ns":%d,"counters":{|}
+       sp.Trace.duration_ns (Trace.exclusive_ns sp));
+  comma_sep b
+    (fun (k, v) ->
+      escape_string b k;
+      Buffer.add_char b ':';
+      Buffer.add_string b (string_of_int v))
+    (Trace.counters sp);
+  Buffer.add_string b {|},"children":[|};
+  comma_sep b (json_of_span b) (Trace.children sp);
+  Buffer.add_string b "]}"
+
+let to_json () =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b {|{"metrics":{|};
+  comma_sep
+    b
+    (fun m ->
+      escape_string b (metric_name m);
+      Buffer.add_char b ':';
+      json_of_metric b m)
+    (Registry.metrics ());
+  Buffer.add_string b {|},"spans":[|};
+  comma_sep b (json_of_span b) (Trace.roots ());
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+let write_json path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_json ());
+      output_char oc '\n')
+
+(* {1 Prometheus text exposition format} *)
+
+let prometheus () =
+  let b = Buffer.create 4096 in
+  let header name help kind =
+    if help <> "" then Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name help);
+    Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name kind)
+  in
+  List.iter
+    (fun m ->
+      match m with
+      | Registry.Counter c ->
+        header (Counter.name c) (Counter.help c) "counter";
+        Buffer.add_string b
+          (Printf.sprintf "%s %d\n" (Counter.name c) (Counter.get c))
+      | Registry.Gauge g ->
+        header (Gauge.name g) (Gauge.help g) "gauge";
+        Buffer.add_string b (Printf.sprintf "%s %d\n" (Gauge.name g) (Gauge.get g))
+      | Registry.Histogram h ->
+        let name = Histogram.name h in
+        header name (Histogram.help h) "histogram";
+        let counts = Histogram.bucket_counts h in
+        let cum = ref 0 in
+        Array.iteri
+          (fun i n ->
+            cum := !cum + n;
+            (* only materialise boundaries up to the last non-empty bucket *)
+            if n > 0 then
+              Buffer.add_string b
+                (Printf.sprintf "%s_bucket{le=\"%d\"} %d\n" name
+                   (Histogram.upper_bound i) !cum))
+          counts;
+        Buffer.add_string b
+          (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name (Histogram.count h));
+        Buffer.add_string b (Printf.sprintf "%s_sum %d\n" name (Histogram.sum h));
+        Buffer.add_string b
+          (Printf.sprintf "%s_count %d\n" name (Histogram.count h)))
+    (Registry.metrics ());
+  Buffer.contents b
+
+(* {1 Human-readable} *)
+
+let pp ppf () =
+  Format.fprintf ppf "metrics:@.";
+  List.iter
+    (fun m ->
+      match m with
+      | Registry.Counter c ->
+        Format.fprintf ppf "  %-48s %d@." (Counter.name c) (Counter.get c)
+      | Registry.Gauge g ->
+        Format.fprintf ppf "  %-48s %d@." (Gauge.name g) (Gauge.get g)
+      | Registry.Histogram h ->
+        let s = Histogram.summary h in
+        Format.fprintf ppf
+          "  %-48s count=%d sum=%d mean=%.1f p50=%.0f p95=%.0f p99=%.0f max=%d@."
+          (Histogram.name h) (Histogram.count h) (Histogram.sum h)
+          s.Hopi_util.Stats.mean s.Hopi_util.Stats.p50 s.Hopi_util.Stats.p95
+          s.Hopi_util.Stats.p99 (Histogram.max_value h))
+    (Registry.metrics ());
+  if Trace.roots () <> [] then begin
+    Format.fprintf ppf "spans:@.";
+    Trace.pp ppf ()
+  end

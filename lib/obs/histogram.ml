@@ -1,0 +1,119 @@
+(* A fixed log2-scale histogram over non-negative integer samples
+   (nanoseconds, entry counts, label sizes).
+
+   Bucket [i] counts samples [v] with [upper_bound (i-1) < v <= upper_bound i]
+   where [upper_bound i = 2^i]; bucket 0 holds everything <= 1 (including
+   clamped non-positive samples) and the last bucket is unbounded.  The
+   bucket count is fixed at creation so [observe] is an index computation
+   (branchless bit probing, no loop-carried refs) plus three
+   [Atomic.fetch_and_add]s and a CAS loop for the exact maximum — no
+   allocation on the hot path, safe from any domain. *)
+
+let n_buckets = 63
+
+type t = {
+  name : string;
+  help : string;
+  buckets : int Atomic.t array; (* length [n_buckets] *)
+  sum : int Atomic.t;
+  count : int Atomic.t;
+  maximum : int Atomic.t;
+}
+
+let make ~name ~help =
+  {
+    name;
+    help;
+    buckets = Array.init n_buckets (fun _ -> Atomic.make 0);
+    sum = Atomic.make 0;
+    count = Atomic.make 0;
+    maximum = Atomic.make 0;
+  }
+
+(* Inclusive upper bound of bucket [i]; the last bucket absorbs the rest. *)
+let upper_bound i = if i >= n_buckets - 1 then max_int else 1 lsl i
+
+(* Smallest [i] with [v <= 2^i], i.e. ceil(log2 v); allocation-free. *)
+let bucket_of_value v =
+  if v <= 1 then 0
+  else begin
+    let v = v - 1 in
+    let r5 = if v lsr 32 <> 0 then 32 else 0 in
+    let v = v lsr r5 in
+    let r4 = if v lsr 16 <> 0 then 16 else 0 in
+    let v = v lsr r4 in
+    let r3 = if v lsr 8 <> 0 then 8 else 0 in
+    let v = v lsr r3 in
+    let r2 = if v lsr 4 <> 0 then 4 else 0 in
+    let v = v lsr r2 in
+    let r1 = if v lsr 2 <> 0 then 2 else 0 in
+    let v = v lsr r1 in
+    let r0 = if v lsr 1 <> 0 then 1 else 0 in
+    let i = r5 + r4 + r3 + r2 + r1 + r0 + 1 in
+    if i > n_buckets - 1 then n_buckets - 1 else i
+  end
+
+let rec update_max a v =
+  let cur = Atomic.get a in
+  if v > cur && not (Atomic.compare_and_set a cur v) then update_max a v
+
+let observe t v =
+  let v = if v < 0 then 0 else v in
+  ignore (Atomic.fetch_and_add t.buckets.(bucket_of_value v) 1);
+  ignore (Atomic.fetch_and_add t.sum v);
+  ignore (Atomic.fetch_and_add t.count 1);
+  update_max t.maximum v
+
+let count t = Atomic.get t.count
+
+let sum t = Atomic.get t.sum
+
+let max_value t = Atomic.get t.maximum
+
+let bucket_counts t = Array.map Atomic.get t.buckets
+
+let reset t =
+  Array.iter (fun a -> Atomic.set a 0) t.buckets;
+  Atomic.set t.sum 0;
+  Atomic.set t.count 0;
+  Atomic.set t.maximum 0
+
+let name t = t.name
+
+let help t = t.help
+
+(* Approximate distribution digest from the buckets (counts are read
+   non-atomically with respect to each other, which is fine for reporting).
+   A percentile resolves to the upper bound of the bucket the rank falls
+   into, except in the last populated bucket where the exact tracked
+   maximum is tighter. *)
+let summary t : Hopi_util.Stats.summary =
+  let counts = bucket_counts t in
+  let total = Array.fold_left ( + ) 0 counts in
+  if total = 0 then Hopi_util.Stats.empty_summary
+  else begin
+    let maximum = max_value t in
+    let percentile p =
+      let rank = int_of_float (ceil (p /. 100.0 *. float_of_int total)) in
+      let rank = if rank < 1 then 1 else rank in
+      let rec go i cum =
+        if i >= n_buckets then float_of_int maximum
+        else begin
+          let cum = cum + counts.(i) in
+          if cum >= rank then
+            let ub = upper_bound i in
+            float_of_int (if ub > maximum then maximum else ub)
+          else go (i + 1) cum
+        end
+      in
+      go 0 0
+    in
+    {
+      Hopi_util.Stats.n = total;
+      mean = float_of_int (sum t) /. float_of_int total;
+      p50 = percentile 50.0;
+      p95 = percentile 95.0;
+      p99 = percentile 99.0;
+      max = float_of_int maximum;
+    }
+  end

@@ -1,0 +1,11 @@
+(* Shared [Logs] initialisation.
+
+   The CLI, the bench harness and the examples all report through the same
+   reporter, so every [Logs.Src] declared in lib/ (hopi.build,
+   hopi.maintenance, hopi.join.psg, hopi.query.eval, hopi.storage.pager, ...)
+   is visible from every entry point instead of only from `hopi -v`. *)
+
+let setup ?(verbose = false) () =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning))

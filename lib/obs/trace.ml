@@ -1,0 +1,98 @@
+(* Lightweight span tracer.
+
+   [with_span "build.join" f] times [f] on the monotonic clock and records
+   the span into a per-domain stack (domain-local storage, so concurrent
+   domains each build their own tree without synchronisation).  A span
+   closing with no parent becomes a completed root in a mutex-protected
+   global list; [roots ()] returns completed roots in completion order.
+
+   [add key n] attaches an integer counter to the innermost open span of
+   the calling domain ("entries", "partitions", ...) — the hierarchical
+   timing tree therefore carries the phase statistics next to the phase
+   timings, which is exactly what the paper's per-phase evaluation tables
+   (Section 7) need.
+
+   Spans are deliberately coarse (per phase, not per operation): opening
+   one allocates a small record, so hot loops should record into
+   [Counter]/[Histogram] instead and let the enclosing span aggregate. *)
+
+type span = {
+  name : string;
+  mutable duration_ns : int;
+  mutable counters : (string * int) list; (* accumulated; unordered *)
+  mutable children : span list; (* reverse completion order while open *)
+}
+
+let stack_key : span list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+
+let roots_mu = Mutex.create ()
+
+let completed_roots : span list ref = ref []
+
+let with_span name f =
+  let stack = Domain.DLS.get stack_key in
+  let sp = { name; duration_ns = 0; counters = []; children = [] } in
+  stack := sp :: !stack;
+  let t0 = Hopi_util.Timer.start () in
+  Fun.protect f ~finally:(fun () ->
+      sp.duration_ns <- Int64.to_int (Hopi_util.Timer.elapsed_ns t0);
+      (match !stack with
+       | top :: rest when top == sp -> stack := rest
+       | _ -> () (* unbalanced exit via an inner exception: leave as-is *));
+      match !stack with
+      | parent :: _ -> parent.children <- sp :: parent.children
+      | [] ->
+        Mutex.lock roots_mu;
+        completed_roots := sp :: !completed_roots;
+        Mutex.unlock roots_mu)
+
+let add key n =
+  match !(Domain.DLS.get stack_key) with
+  | [] -> ()
+  | sp :: _ -> (
+    match List.assoc_opt key sp.counters with
+    | Some v -> sp.counters <- (key, v + n) :: List.remove_assoc key sp.counters
+    | None -> sp.counters <- (key, n) :: sp.counters)
+
+let current_span_name () =
+  match !(Domain.DLS.get stack_key) with
+  | [] -> None
+  | sp :: _ -> Some sp.name
+
+let children sp = List.rev sp.children
+
+let counters sp = List.sort (fun (a, _) (b, _) -> String.compare a b) sp.counters
+
+(* Self time: total minus the time attributed to child spans. *)
+let exclusive_ns sp =
+  let inner = List.fold_left (fun acc c -> acc + c.duration_ns) 0 sp.children in
+  let ex = sp.duration_ns - inner in
+  if ex < 0 then 0 else ex
+
+let roots () =
+  Mutex.lock roots_mu;
+  let r = List.rev !completed_roots in
+  Mutex.unlock roots_mu;
+  r
+
+(* Drop completed roots.  Call between experiments, outside any open span
+   (open spans on any domain are unaffected but will complete into the new
+   epoch). *)
+let reset () =
+  Mutex.lock roots_mu;
+  completed_roots := [];
+  Mutex.unlock roots_mu
+
+let rec pp_span ?(indent = 0) ppf sp =
+  let secs ns = float_of_int ns *. 1e-9 in
+  Format.fprintf ppf "%s%-*s %a" (String.make indent ' ')
+    (max 1 (32 - indent))
+    sp.name Hopi_util.Timer.pp_duration (secs sp.duration_ns);
+  if sp.children <> [] then
+    Format.fprintf ppf "  (self %a)" Hopi_util.Timer.pp_duration
+      (secs (exclusive_ns sp));
+  List.iter (fun (k, v) -> Format.fprintf ppf "  %s=%d" k v) (counters sp);
+  Format.fprintf ppf "@.";
+  List.iter (pp_span ~indent:(indent + 2) ppf) (children sp)
+
+let pp ppf () = List.iter (pp_span ppf) (roots ())

@@ -2,6 +2,37 @@ module Collection = Hopi_collection.Collection
 module Hopi = Hopi_core.Hopi
 module Traversal = Hopi_graph.Traversal
 module Dist_cover = Hopi_twohop.Dist_cover
+module Cover = Hopi_twohop.Cover
+module Timer = Hopi_util.Timer
+module Counter = Hopi_obs.Counter
+module Histogram = Hopi_obs.Histogram
+module Trace = Hopi_obs.Trace
+module Registry = Hopi_obs.Registry
+
+let log = Logs.Src.create "hopi.query.eval" ~doc:"Path-expression evaluation"
+
+module Log = (val Logs.src_log log : Logs.LOG)
+
+let m_evals =
+  Registry.counter "hopi_query_evals_total" ~help:"Path expressions evaluated"
+
+let m_matches =
+  Registry.counter "hopi_query_matches_total" ~help:"Matches returned"
+
+let m_reach_tests =
+  Registry.counter "hopi_query_reach_tests_total"
+    ~help:"Index reachability probes during evaluation"
+
+let m_candidates =
+  Registry.counter "hopi_query_candidates_total"
+    ~help:"Step candidates considered (label probes)"
+
+let h_query_ns =
+  Registry.histogram "hopi_query_duration_ns" ~help:"Query evaluation time"
+
+let h_label_entries =
+  Registry.histogram "hopi_query_label_entries"
+    ~help:"Lout(u) + Lin(v) label entries scanned per reachability probe"
 
 type match_ = { path : int list; score : float }
 
@@ -24,18 +55,22 @@ let default_options =
 
 (* Candidate elements for one step test, with their tag scores. *)
 let candidates opts c (test : Path_expr.test) =
-  match test with
-  | Path_expr.Tag tag ->
-    List.map (fun e -> (e, 1.0)) (Collection.elements_with_tag c tag)
-  | Path_expr.Similar tag ->
-    List.concat_map
-      (fun (tag', sim) ->
-        List.map (fun e -> (e, sim)) (Collection.elements_with_tag c tag'))
-      (Ontology.expand opts.ontology tag ~threshold:opts.similarity_threshold)
-  | Path_expr.Any ->
-    let acc = ref [] in
-    Collection.iter_elements c (fun e -> acc := (e, 1.0) :: !acc);
-    !acc
+  let cands =
+    match test with
+    | Path_expr.Tag tag ->
+      List.map (fun e -> (e, 1.0)) (Collection.elements_with_tag c tag)
+    | Path_expr.Similar tag ->
+      List.concat_map
+        (fun (tag', sim) ->
+          List.map (fun e -> (e, sim)) (Collection.elements_with_tag c tag'))
+        (Ontology.expand opts.ontology tag ~threshold:opts.similarity_threshold)
+    | Path_expr.Any ->
+      let acc = ref [] in
+      Collection.iter_elements c (fun e -> acc := (e, 1.0) :: !acc);
+      !acc
+  in
+  Counter.add m_candidates (List.length cands);
+  cands
 
 (* partial match: reversed element path + score *)
 let eval_generic ?descendants ~reaches ~dist opts idx (expr : Path_expr.t) =
@@ -172,18 +207,39 @@ let eval_generic ?descendants ~reaches ~dist opts idx (expr : Path_expr.t) =
     (fun r -> { path = r.Ranking.item; score = r.Ranking.score })
     (Ranking.top_k opts.max_results ranked)
 
+let finish_eval t0 matches =
+  Histogram.observe h_query_ns (Int64.to_int (Timer.elapsed_ns t0));
+  Counter.add m_matches (List.length matches);
+  Trace.add "matches" (List.length matches);
+  Log.debug (fun m -> m "query returned %d matches" (List.length matches));
+  matches
+
 let eval ?(options = default_options) idx expr =
+  Counter.incr m_evals;
+  Trace.with_span "query.eval" @@ fun () ->
+  let t0 = Timer.start () in
   let dist =
     if options.use_distance || options.max_distance <> None then
       let d = Hopi.distance_index idx in
       fun u v -> Dist_cover.dist d u v
     else fun _ _ -> None
   in
-  eval_generic
-    ~descendants:(fun u -> Hopi.descendants idx u)
-    ~reaches:(Hopi.connected idx) ~dist options idx expr
+  let cover = Hopi.cover idx in
+  let reaches u v =
+    Counter.incr m_reach_tests;
+    Histogram.observe h_label_entries
+      (Cover.lout_cardinal cover u + Cover.lin_cardinal cover v);
+    Hopi.connected idx u v
+  in
+  finish_eval t0
+    (eval_generic
+       ~descendants:(fun u -> Hopi.descendants idx u)
+       ~reaches ~dist options idx expr)
 
 let eval_naive ?(options = default_options) idx expr =
+  Counter.incr m_evals;
+  Trace.with_span "query.eval_naive" @@ fun () ->
+  let t0 = Timer.start () in
   let g = Collection.element_graph (Hopi.collection idx) in
   (* one BFS per distinct source, memoised across candidate pairs *)
   let cache = Hashtbl.create 64 in
@@ -197,4 +253,4 @@ let eval_naive ?(options = default_options) idx expr =
   in
   let reaches u v = Hashtbl.mem (distances u) v in
   let dist u v = Hashtbl.find_opt (distances u) v in
-  eval_generic ~reaches ~dist options idx expr
+  finish_eval t0 (eval_generic ~reaches ~dist options idx expr)

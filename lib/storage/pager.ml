@@ -1,3 +1,37 @@
+module Counter = Hopi_obs.Counter
+module Registry = Hopi_obs.Registry
+
+let log = Logs.Src.create "hopi.storage.pager" ~doc:"Buffer-managed page store"
+
+module Log = (val Logs.src_log log : Logs.LOG)
+
+(* Process-wide counters across all pager instances; the per-instance
+   [stats] record below stays the source of truth for a single store. *)
+
+let m_page_reads =
+  Registry.counter "hopi_storage_page_reads_total"
+    ~help:"Pages read from the backing store"
+
+let m_page_writes =
+  Registry.counter "hopi_storage_page_writes_total"
+    ~help:"Pages written back to the backing store"
+
+let m_cache_hits =
+  Registry.counter "hopi_storage_cache_hits_total"
+    ~help:"Buffer-pool cache hits"
+
+let m_cache_misses =
+  Registry.counter "hopi_storage_cache_misses_total"
+    ~help:"Buffer-pool cache misses"
+
+let m_evictions =
+  Registry.counter "hopi_storage_evictions_total"
+    ~help:"Buffer-pool evictions"
+
+let m_pages_allocated =
+  Registry.counter "hopi_storage_pages_allocated_total"
+    ~help:"Pages allocated (including recycled free-list pages)"
+
 type backend = Memory | File of string
 
 type slot = {
@@ -69,6 +103,7 @@ let tick t =
 
 let write_back t id page =
   t.disk_writes <- t.disk_writes + 1;
+  Counter.incr m_page_writes;
   match t.fd with
   | None -> Hashtbl.replace t.store id (Bytes.copy page)
   | Some fd ->
@@ -78,6 +113,7 @@ let write_back t id page =
 
 let read_from_store t id =
   t.disk_reads <- t.disk_reads + 1;
+  Counter.incr m_page_reads;
   match t.fd with
   | None -> (
     match Hashtbl.find_opt t.store id with
@@ -112,7 +148,8 @@ let evict_one t =
   | Some (id, slot) ->
     if slot.dirty then write_back t id slot.page;
     Hashtbl.remove t.cache id;
-    t.evictions <- t.evictions + 1
+    t.evictions <- t.evictions + 1;
+    Counter.incr m_evictions
 
 let cache_insert t id page =
   if Hashtbl.length t.cache >= t.pool_pages then evict_one t;
@@ -121,6 +158,7 @@ let cache_insert t id page =
   slot
 
 let alloc t =
+  Counter.incr m_pages_allocated;
   match t.free_list with
   | id :: rest ->
     t.free_list <- rest;
@@ -153,10 +191,12 @@ let slot_of t id =
   match Hashtbl.find_opt t.cache id with
   | Some slot ->
     t.cache_hits <- t.cache_hits + 1;
+    Counter.incr m_cache_hits;
     slot.stamp <- tick t;
     slot
   | None ->
     t.cache_misses <- t.cache_misses + 1;
+    Counter.incr m_cache_misses;
     let page = read_from_store t id in
     cache_insert t id page
 
@@ -210,6 +250,9 @@ let stats t =
 
 let close t =
   flush t;
+  Log.info (fun m ->
+      m "pager closed: %d pages, %d hits / %d misses, %d evictions" t.next_page
+        t.cache_hits t.cache_misses t.evictions);
   match t.fd with
   | Some fd -> Unix.close fd
   | None -> ()

@@ -2,6 +2,36 @@ module Int_set = Hopi_util.Int_set
 module Ihs = Hopi_util.Int_hashset
 module Heap = Hopi_util.Heap
 module Closure = Hopi_graph.Closure
+module Counter = Hopi_obs.Counter
+module Histogram = Hopi_obs.Histogram
+module Registry = Hopi_obs.Registry
+
+(* Metrics only — no spans here: [build] runs concurrently on worker
+   domains during the per-partition cover phase, and counters/histograms
+   are the only recorders that are domain-safe and allocation-free. *)
+
+let m_builds =
+  Registry.counter "hopi_twohop_builds_total" ~help:"2-hop cover builds run"
+
+let m_center_picks =
+  Registry.counter "hopi_twohop_center_picks_total"
+    ~help:"Centers applied by the greedy densest-subgraph loop"
+
+let m_recomputations =
+  Registry.counter "hopi_twohop_densest_recomputations_total"
+    ~help:"Densest-subgraph recomputations (lazy priority refreshes)"
+
+let m_reinserts =
+  Registry.counter "hopi_twohop_reinserts_total"
+    ~help:"Heap reinserts after a stale priority lost to the next-best"
+
+let h_uncovered_initial =
+  Registry.histogram "hopi_twohop_uncovered_initial"
+    ~help:"Uncovered connections at the start of a build"
+
+let h_covered_per_pick =
+  Registry.histogram "hopi_twohop_covered_per_pick"
+    ~help:"Connections covered by a single center application"
 
 type stats = {
   iterations : int;
@@ -60,6 +90,7 @@ let densest_for uncov clo w =
   Densest.run ~ins:(live_ins uncov cin) ~edges_of:(uncovered_into uncov cout)
 
 let apply_choice cover uncov w (r : Densest.result) =
+  let before = Uncovered.count uncov in
   let n_out = List.length r.Densest.c_out in
   let c_out_set = Ihs.create ~initial:n_out () in
   List.iter (fun v -> Ihs.add c_out_set v) r.Densest.c_out;
@@ -73,9 +104,11 @@ let apply_choice cover uncov w (r : Densest.result) =
         List.iter (fun v -> if Uncovered.mem uncov u v then vs := v :: !vs) r.Densest.c_out;
       List.iter (fun v -> Uncovered.remove uncov u v) !vs)
     r.Densest.c_in;
-  List.iter (fun v -> Cover.add_in cover ~node:v ~center:w) r.Densest.c_out
+  List.iter (fun v -> Cover.add_in cover ~node:v ~center:w) r.Densest.c_out;
+  Histogram.observe h_covered_per_pick (before - Uncovered.count uncov)
 
 let build ?(preselect_centers = []) ?only_pairs clo =
+  Counter.incr m_builds;
   let cover = Cover.create ~initial:(Closure.n_nodes clo) () in
   Closure.iter_nodes clo (fun v -> Cover.add_node cover v);
   let uncov =
@@ -83,6 +116,7 @@ let build ?(preselect_centers = []) ?only_pairs clo =
     | None -> Uncovered.of_closure clo
     | Some pairs -> Uncovered.of_pairs (List.filter (fun (u, v) -> Closure.mem clo u v) pairs)
   in
+  Histogram.observe h_uncovered_initial (Uncovered.count uncov);
   let iterations = ref 0 and recomputations = ref 0 and reinserts = ref 0 in
   (* Phase 1: preselected centers (cross-partition link targets). *)
   let seen = Ihs.create () in
@@ -90,7 +124,11 @@ let build ?(preselect_centers = []) ?only_pairs clo =
     (fun w ->
       if Closure.mem clo w w && not (Ihs.mem seen w) then begin
         Ihs.add seen w;
-        if cover_via_center cover uncov clo w > 0 then incr iterations
+        let covered = cover_via_center cover uncov clo w in
+        if covered > 0 then begin
+          incr iterations;
+          Histogram.observe h_covered_per_pick covered
+        end
       end)
     preselect_centers;
   (* Phase 2: greedy loop with lazily updated priorities.  Without a pair
@@ -143,6 +181,9 @@ let build ?(preselect_centers = []) ?only_pairs clo =
           Heap.push queue ~prio:r.Densest.density w
         end)
   done;
+  Counter.add m_center_picks !iterations;
+  Counter.add m_recomputations !recomputations;
+  Counter.add m_reinserts !reinserts;
   ( cover,
     {
       iterations = !iterations;

@@ -70,6 +70,10 @@ let lin t v = Ihs.to_int_set (get t.lin v)
 
 let lout t v = Ihs.to_int_set (get t.lout v)
 
+let lin_cardinal t v = Ihs.cardinal (get t.lin v)
+
+let lout_cardinal t v = Ihs.cardinal (get t.lout v)
+
 let iter_lin t v f = match Hashtbl.find_opt t.lin v with
   | Some s -> Ihs.iter f s
   | None -> ()

@@ -31,6 +31,11 @@ val lin : t -> int -> Hopi_util.Int_set.t
 
 val lout : t -> int -> Hopi_util.Int_set.t
 
+val lin_cardinal : t -> int -> int
+(** [|Lin(v)|] without snapshotting the set (allocation-free). *)
+
+val lout_cardinal : t -> int -> int
+
 val iter_lin : t -> int -> (int -> unit) -> unit
 
 val iter_lout : t -> int -> (int -> unit) -> unit

@@ -11,18 +11,21 @@ let stddev xs =
     sqrt (ss /. float_of_int (n - 1))
   end
 
+(* [Float.compare], not the polymorphic [compare]: the generic comparison
+   goes through the runtime's structural-compare path on boxed floats and
+   gives unspecified orderings in the presence of nan. *)
 let min_max xs =
   if Array.length xs = 0 then invalid_arg "Stats.min_max: empty";
   Array.fold_left
-    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (fun (lo, hi) x ->
+      ((if Float.compare x lo < 0 then x else lo),
+       (if Float.compare x hi > 0 then x else hi)))
     (xs.(0), xs.(0)) xs
 
-let percentile xs p =
-  let n = Array.length xs in
+let percentile_sorted sorted p =
+  let n = Array.length sorted in
   if n = 0 then invalid_arg "Stats.percentile: empty";
   if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
-  let sorted = Array.copy xs in
-  Array.sort compare sorted;
   let rank = p /. 100.0 *. float_of_int (n - 1) in
   let lo = int_of_float (Float.floor rank) in
   let hi = int_of_float (Float.ceil rank) in
@@ -30,6 +33,40 @@ let percentile xs p =
   else begin
     let frac = rank -. float_of_int lo in
     sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+  end
+
+let percentile xs p =
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  percentile_sorted sorted p
+
+(* Five-number digest shared by bench reporting and the histogram exporter
+   in [Hopi_obs]. *)
+type summary = {
+  n : int;
+  mean : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  max : float;
+}
+
+let empty_summary = { n = 0; mean = 0.0; p50 = 0.0; p95 = 0.0; p99 = 0.0; max = 0.0 }
+
+let summary xs =
+  let n = Array.length xs in
+  if n = 0 then empty_summary
+  else begin
+    let sorted = Array.copy xs in
+    Array.sort Float.compare sorted;
+    {
+      n;
+      mean = mean xs;
+      p50 = percentile_sorted sorted 50.0;
+      p95 = percentile_sorted sorted 95.0;
+      p99 = percentile_sorted sorted 99.0;
+      max = sorted.(n - 1);
+    }
   end
 
 let z_98 = 2.3263

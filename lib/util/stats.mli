@@ -13,6 +13,23 @@ val percentile : float array -> float -> float
 (** [percentile xs p] with [p] in [0,100]; linear interpolation.
     @raise Invalid_argument on an empty array. *)
 
+type summary = {
+  n : int;
+  mean : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  max : float;
+}
+(** Five-number digest shared by bench reporting and the histogram
+    exporter in [Hopi_obs]. *)
+
+val empty_summary : summary
+(** The all-zero summary of an empty sample. *)
+
+val summary : float array -> summary
+(** Exact digest of a sample; [empty_summary] for an empty array. *)
+
 val proportion_ci_upper : successes:int -> samples:int -> z:float -> float
 (** Upper bound of the Wald confidence interval for a proportion, clamped to
     [0,1].  The paper samples at most 13,600 candidate edges and takes the

@@ -1,10 +1,29 @@
-type t = float
+(* Monotonic timing.
 
-let now () = Unix.gettimeofday ()
+   [Unix.gettimeofday] is wall-clock time: it jumps backwards under NTP
+   adjustment or manual clock changes, which would make span durations and
+   bench numbers negative.  We read CLOCK_MONOTONIC instead, through the
+   [@@noalloc] stub of bechamel's monotonic_clock library, so taking a
+   timestamp never allocates.
 
-let start = now
+   Fallback: on a platform where the stub cannot read a monotonic clock it
+   reports 0, in which case every duration degenerates to 0 rather than
+   going negative; [elapsed_ns] additionally clamps at zero so no caller
+   can ever observe a negative duration. *)
 
-let elapsed_s t = now () -. t
+type t = int64 (* nanoseconds since an arbitrary (boot-time) origin *)
+
+let now_ns () : int64 = Monotonic_clock.now ()
+
+let start = now_ns
+
+let elapsed_ns t =
+  let d = Int64.sub (now_ns ()) t in
+  if Int64.compare d 0L < 0 then 0L else d
+
+let elapsed_s t = Int64.to_float (elapsed_ns t) *. 1e-9
+
+let ns_of_s s = if s <= 0.0 then 0 else int_of_float (s *. 1e9)
 
 let time f =
   let t = start () in

@@ -1,0 +1,379 @@
+(* Observability library: metric semantics, bucket boundaries, span trees,
+   exporter output, and multi-domain safety. *)
+
+module Counter = Hopi_obs.Counter
+module Gauge = Hopi_obs.Gauge
+module Histogram = Hopi_obs.Histogram
+module Registry = Hopi_obs.Registry
+module Trace = Hopi_obs.Trace
+module Export = Hopi_obs.Export
+
+(* {1 A minimal JSON validator} — enough to assert the hand-rolled emitter
+   produces well-formed JSON without a JSON library in the toolchain. *)
+
+exception Bad_json of string
+
+let validate_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let literal lit =
+    String.iter expect lit
+  in
+  let string_ () =
+    expect '"';
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+         | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> advance ()
+         | Some 'u' ->
+           advance ();
+           for _ = 1 to 4 do
+             match peek () with
+             | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+             | _ -> fail "bad \\u escape"
+           done
+         | _ -> fail "bad escape");
+        go ()
+      | Some _ ->
+        advance ();
+        go ()
+    in
+    go ()
+  in
+  let number () =
+    (match peek () with Some '-' -> advance () | _ -> ());
+    let digits () =
+      let saw = ref false in
+      let rec go () =
+        match peek () with
+        | Some '0' .. '9' ->
+          saw := true;
+          advance ();
+          go ()
+        | _ -> ()
+      in
+      go ();
+      if not !saw then fail "expected digit"
+    in
+    digits ();
+    (match peek () with
+     | Some '.' ->
+       advance ();
+       digits ()
+     | _ -> ());
+    match peek () with
+    | Some ('e' | 'E') ->
+      advance ();
+      (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+      digits ()
+    | _ -> ()
+  in
+  let rec value () =
+    skip_ws ();
+    (match peek () with
+     | Some '{' ->
+       advance ();
+       skip_ws ();
+       if peek () = Some '}' then advance ()
+       else begin
+         let rec members () =
+           skip_ws ();
+           string_ ();
+           skip_ws ();
+           expect ':';
+           value ();
+           skip_ws ();
+           match peek () with
+           | Some ',' ->
+             advance ();
+             members ()
+           | Some '}' -> advance ()
+           | _ -> fail "expected , or }"
+         in
+         members ()
+       end
+     | Some '[' ->
+       advance ();
+       skip_ws ();
+       if peek () = Some ']' then advance ()
+       else begin
+         let rec elements () =
+           value ();
+           skip_ws ();
+           match peek () with
+           | Some ',' ->
+             advance ();
+             elements ()
+           | Some ']' -> advance ()
+           | _ -> fail "expected , or ]"
+         in
+         elements ()
+       end
+     | Some '"' -> string_ ()
+     | Some 't' -> literal "true"
+     | Some 'f' -> literal "false"
+     | Some 'n' -> literal "null"
+     | Some ('-' | '0' .. '9') -> number ()
+     | _ -> fail "expected value");
+    skip_ws ()
+  in
+  value ();
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage"
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* {1 Counters and gauges} *)
+
+let test_counter () =
+  let c = Registry.counter "test_obs_counter_total" ~help:"test" in
+  Counter.reset c;
+  Alcotest.(check int) "initial" 0 (Counter.get c);
+  Counter.incr c;
+  Counter.incr c;
+  Counter.add c 40;
+  Alcotest.(check int) "incr+add" 42 (Counter.get c);
+  (* factory is idempotent: same name gives the same metric *)
+  let c' = Registry.counter "test_obs_counter_total" in
+  Counter.incr c';
+  Alcotest.(check int) "idempotent registration" 43 (Counter.get c);
+  Counter.reset c;
+  Alcotest.(check int) "reset" 0 (Counter.get c);
+  Alcotest.(check string) "name" "test_obs_counter_total" (Counter.name c);
+  (* re-registering under a different metric type is an error *)
+  Alcotest.check_raises "type mismatch"
+    (Invalid_argument
+       "Hopi_obs.Registry: \"test_obs_counter_total\" already registered with another type")
+    (fun () -> ignore (Registry.gauge "test_obs_counter_total"))
+
+let test_gauge () =
+  let g = Registry.gauge "test_obs_gauge" ~help:"test" in
+  Gauge.reset g;
+  Gauge.set g 10;
+  Alcotest.(check int) "set" 10 (Gauge.get g);
+  Gauge.incr g;
+  Gauge.add g 5;
+  Gauge.decr g;
+  Gauge.sub g 3;
+  Alcotest.(check int) "arithmetic" 12 (Gauge.get g)
+
+(* {1 Histogram} *)
+
+let test_histogram_basic () =
+  let h = Registry.histogram "test_obs_hist_basic" ~help:"test" in
+  Histogram.reset h;
+  List.iter (Histogram.observe h) [ 1; 2; 3; 100; -5 ];
+  Alcotest.(check int) "count" 5 (Histogram.count h);
+  (* -5 clamps to 0 *)
+  Alcotest.(check int) "sum" 106 (Histogram.sum h);
+  Alcotest.(check int) "max" 100 (Histogram.max_value h);
+  Histogram.reset h;
+  Alcotest.(check int) "reset count" 0 (Histogram.count h);
+  Alcotest.(check int) "reset max" 0 (Histogram.max_value h)
+
+let test_histogram_buckets () =
+  (* bucket i holds v with 2^(i-1) < v <= 2^i: exact powers stay in their
+     own bucket, the successor of a power spills into the next *)
+  Alcotest.(check int) "v=0" 0 (Histogram.bucket_of_value 0);
+  Alcotest.(check int) "v=1" 0 (Histogram.bucket_of_value 1);
+  Alcotest.(check int) "v=2" 1 (Histogram.bucket_of_value 2);
+  Alcotest.(check int) "v=3" 2 (Histogram.bucket_of_value 3);
+  Alcotest.(check int) "v=4" 2 (Histogram.bucket_of_value 4);
+  Alcotest.(check int) "v=5" 3 (Histogram.bucket_of_value 5);
+  for i = 1 to 61 do
+    Alcotest.(check int)
+      (Printf.sprintf "v=2^%d" i)
+      i
+      (Histogram.bucket_of_value (1 lsl i));
+    if i < 61 then
+      Alcotest.(check int)
+        (Printf.sprintf "v=2^%d+1" i)
+        (i + 1)
+        (Histogram.bucket_of_value ((1 lsl i) + 1))
+  done;
+  Alcotest.(check int) "v=max_int clamps to last bucket"
+    (Histogram.n_buckets - 1)
+    (Histogram.bucket_of_value max_int);
+  let h = Registry.histogram "test_obs_hist_buckets" ~help:"test" in
+  Histogram.reset h;
+  List.iter (Histogram.observe h) [ 1; 1; 2; 4; 5; 8; 9 ];
+  let counts = Histogram.bucket_counts h in
+  Alcotest.(check int) "bucket 0 (<=1)" 2 counts.(0);
+  Alcotest.(check int) "bucket 1 (<=2)" 1 counts.(1);
+  Alcotest.(check int) "bucket 2 (<=4)" 1 counts.(2);
+  Alcotest.(check int) "bucket 3 (<=8)" 2 counts.(3);
+  Alcotest.(check int) "bucket 4 (<=16)" 1 counts.(4)
+
+let test_histogram_summary () =
+  let h = Registry.histogram "test_obs_hist_summary" ~help:"test" in
+  Histogram.reset h;
+  for _ = 1 to 10 do
+    Histogram.observe h 8
+  done;
+  let s = Histogram.summary h in
+  Alcotest.(check int) "n" 10 s.Hopi_util.Stats.n;
+  Alcotest.(check (float 1e-9)) "mean" 8.0 s.Hopi_util.Stats.mean;
+  (* every percentile resolves within the only populated bucket, capped by
+     the exact tracked max *)
+  Alcotest.(check (float 1e-9)) "p50" 8.0 s.Hopi_util.Stats.p50;
+  Alcotest.(check (float 1e-9)) "p99" 8.0 s.Hopi_util.Stats.p99;
+  Alcotest.(check (float 1e-9)) "max" 8.0 s.Hopi_util.Stats.max;
+  let empty = Registry.histogram "test_obs_hist_empty" ~help:"test" in
+  Histogram.reset empty;
+  Alcotest.(check int) "empty n" 0 (Histogram.summary empty).Hopi_util.Stats.n
+
+(* {1 Spans} *)
+
+let test_spans () =
+  Trace.reset ();
+  Trace.with_span "outer" (fun () ->
+      Trace.add "outer_items" 2;
+      Trace.with_span "inner" (fun () ->
+          Trace.add "inner_items" 3;
+          Trace.add "inner_items" 4;
+          ignore (Sys.opaque_identity (String.make 1024 'x')));
+      Trace.with_span "inner2" (fun () -> ()));
+  match Trace.roots () with
+  | [ outer ] ->
+    Alcotest.(check string) "root name" "outer" outer.Trace.name;
+    Alcotest.(check (list (pair string int)))
+      "root counters" [ ("outer_items", 2) ] (Trace.counters outer);
+    (match Trace.children outer with
+     | [ inner; inner2 ] ->
+       Alcotest.(check string) "child order" "inner" inner.Trace.name;
+       Alcotest.(check string) "child order 2" "inner2" inner2.Trace.name;
+       Alcotest.(check (list (pair string int)))
+         "inner counters accumulate" [ ("inner_items", 7) ] (Trace.counters inner);
+       Alcotest.(check bool) "durations nest"
+         true
+         (outer.Trace.duration_ns
+          >= inner.Trace.duration_ns + inner2.Trace.duration_ns);
+       Alcotest.(check int) "exclusive = total - children"
+         (outer.Trace.duration_ns - inner.Trace.duration_ns
+          - inner2.Trace.duration_ns)
+         (Trace.exclusive_ns outer)
+     | cs -> Alcotest.failf "expected 2 children, got %d" (List.length cs))
+  | rs -> Alcotest.failf "expected 1 root, got %d" (List.length rs)
+
+let test_span_exception () =
+  Trace.reset ();
+  (try Trace.with_span "boom" (fun () -> failwith "inner failure")
+   with Failure _ -> ());
+  match Trace.roots () with
+  | [ sp ] -> Alcotest.(check string) "span completed despite raise" "boom" sp.Trace.name
+  | rs -> Alcotest.failf "expected 1 root, got %d" (List.length rs)
+
+(* {1 Exporters} *)
+
+let test_json_export () =
+  Trace.reset ();
+  let c = Registry.counter "test_obs_json_total" ~help:"json test" in
+  Counter.reset c;
+  Counter.add c 3;
+  let h = Registry.histogram "test_obs_json_hist" ~help:"json \"quoted\" help" in
+  Histogram.reset h;
+  List.iter (Histogram.observe h) [ 1; 2; 300 ];
+  Trace.with_span "export.root" (fun () ->
+      Trace.add "entries" 5;
+      Trace.with_span "export.child" (fun () -> ()));
+  let json = Export.to_json () in
+  (match validate_json json with
+   | () -> ()
+   | exception Bad_json msg -> Alcotest.failf "invalid JSON (%s): %s" msg json);
+  Alcotest.(check bool) "counter present" true
+    (contains json {|"test_obs_json_total":{"type":"counter","value":3}|});
+  Alcotest.(check bool) "histogram count present" true
+    (contains json {|"count":3,"sum":303|});
+  Alcotest.(check bool) "span present" true (contains json {|"name":"export.root"|});
+  Alcotest.(check bool) "span counters present" true (contains json {|"entries":5|});
+  Alcotest.(check bool) "child span nested" true
+    (contains json {|"children":[{"name":"export.child"|})
+
+let test_prometheus_export () =
+  let c = Registry.counter "test_obs_prom_total" ~help:"prom test" in
+  Counter.reset c;
+  Counter.add c 7;
+  let h = Registry.histogram "test_obs_prom_hist" ~help:"prom hist" in
+  Histogram.reset h;
+  List.iter (Histogram.observe h) [ 1; 2; 2; 5 ];
+  let out = Export.prometheus () in
+  Alcotest.(check bool) "TYPE counter" true
+    (contains out "# TYPE test_obs_prom_total counter");
+  Alcotest.(check bool) "counter sample" true (contains out "test_obs_prom_total 7");
+  Alcotest.(check bool) "TYPE histogram" true
+    (contains out "# TYPE test_obs_prom_hist histogram");
+  (* buckets are cumulative: le=1 -> 1, le=2 -> 3, le=8 -> 4 *)
+  Alcotest.(check bool) "bucket le=1" true
+    (contains out {|test_obs_prom_hist_bucket{le="1"} 1|});
+  Alcotest.(check bool) "bucket le=2" true
+    (contains out {|test_obs_prom_hist_bucket{le="2"} 3|});
+  Alcotest.(check bool) "bucket le=8" true
+    (contains out {|test_obs_prom_hist_bucket{le="8"} 4|});
+  Alcotest.(check bool) "bucket +Inf" true
+    (contains out {|test_obs_prom_hist_bucket{le="+Inf"} 4|});
+  Alcotest.(check bool) "sum" true (contains out "test_obs_prom_hist_sum 10");
+  Alcotest.(check bool) "count" true (contains out "test_obs_prom_hist_count 4")
+
+(* {1 Multi-domain stress} — recording from several domains concurrently
+   must not lose increments or samples. *)
+
+let test_multi_domain () =
+  let c = Registry.counter "test_obs_stress_total" ~help:"stress" in
+  let h = Registry.histogram "test_obs_stress_hist" ~help:"stress" in
+  Counter.reset c;
+  Histogram.reset h;
+  let per_domain = 100_000 and n_domains = 4 in
+  let work () =
+    for i = 1 to per_domain do
+      Counter.incr c;
+      Histogram.observe h (i land 1023)
+    done
+  in
+  let domains = List.init (n_domains - 1) (fun _ -> Domain.spawn work) in
+  work ();
+  List.iter Domain.join domains;
+  let total = n_domains * per_domain in
+  Alcotest.(check int) "no lost counter increments" total (Counter.get c);
+  Alcotest.(check int) "no lost histogram samples" total (Histogram.count h);
+  Alcotest.(check int) "bucket counts consistent" total
+    (Array.fold_left ( + ) 0 (Histogram.bucket_counts h));
+  Alcotest.(check int) "max tracked" 1023 (Histogram.max_value h)
+
+let suite =
+  [
+    ( "obs",
+      [
+        Alcotest.test_case "counter" `Quick test_counter;
+        Alcotest.test_case "gauge" `Quick test_gauge;
+        Alcotest.test_case "histogram basic" `Quick test_histogram_basic;
+        Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+        Alcotest.test_case "histogram summary" `Quick test_histogram_summary;
+        Alcotest.test_case "span nesting" `Quick test_spans;
+        Alcotest.test_case "span exception safety" `Quick test_span_exception;
+        Alcotest.test_case "json export" `Quick test_json_export;
+        Alcotest.test_case "prometheus export" `Quick test_prometheus_export;
+        Alcotest.test_case "multi-domain stress" `Quick test_multi_domain;
+      ] );
+  ]

@@ -265,6 +265,21 @@ let test_stats_percentile () =
   check_float "p100" 40.0 (Stats.percentile xs 100.0);
   check_float "p50" 25.0 (Stats.percentile xs 50.0)
 
+let test_stats_min_max () =
+  let lo, hi = Stats.min_max [| 3.0; -1.0; 2.5; -1.5; 0.0 |] in
+  check_float "min" (-1.5) lo;
+  check_float "max" 3.0 hi
+
+let test_stats_summary () =
+  let s = Stats.summary [| 40.0; 10.0; 30.0; 20.0 |] in
+  Alcotest.(check int) "n" 4 s.Stats.n;
+  check_float "mean" 25.0 s.Stats.mean;
+  check_float "p50" 25.0 s.Stats.p50;
+  check_float "p95" 38.5 s.Stats.p95;
+  check_float "max" 40.0 s.Stats.max;
+  Alcotest.(check int) "empty n" 0 (Stats.summary [||]).Stats.n;
+  check_float "empty mean" 0.0 (Stats.summary [||]).Stats.mean
+
 let test_stats_ci_upper () =
   (* 0 successes -> upper bound still >= 0, p=1 with no samples *)
   check_float "no samples" 1.0 (Stats.proportion_ci_upper ~successes:0 ~samples:0 ~z:2.0);
@@ -320,6 +335,8 @@ let suite =
       [
         Alcotest.test_case "mean/stddev" `Quick test_stats_mean_stddev;
         Alcotest.test_case "percentile" `Quick test_stats_percentile;
+        Alcotest.test_case "min/max" `Quick test_stats_min_max;
+        Alcotest.test_case "summary" `Quick test_stats_summary;
         Alcotest.test_case "ci upper" `Quick test_stats_ci_upper;
       ] );
   ]
