@@ -7,12 +7,13 @@ module Inex = Hopi_workload.Inex_gen
 module Timer = Hopi_util.Timer
 
 (* Scale 1.0 targets a laptop-friendly run (~minutes); the paper's own
-   collections are ~15x (DBLP) / ~300x (INEX elements) larger. *)
-type scale = { dblp_docs : int; inex_docs : int; small_docs : int }
+   collections are ~15x (DBLP) / ~300x (INEX elements) larger.  [jobs] is
+   the pool size experiments use when they exercise the parallel build. *)
+type scale = { dblp_docs : int; inex_docs : int; small_docs : int; jobs : int }
 
-let scale_of factor =
+let scale_of ?(jobs = 4) factor =
   let f n = max 5 (int_of_float (float_of_int n *. factor)) in
-  { dblp_docs = f 500; inex_docs = f 60; small_docs = f 120 }
+  { dblp_docs = f 500; inex_docs = f 60; small_docs = f 120; jobs = max 1 jobs }
 
 let dblp_collection n = Dblp.generate (Dblp.default ~n_docs:n)
 

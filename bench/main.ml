@@ -22,11 +22,13 @@ let experiments : (string * string * (Bench_common.scale -> unit)) list =
     ("psg-strategies", "ablation: PSG H-bar strategies", Experiments.psg_strategies);
     ("lazy-queue", "ablation: lazy priority queue", Experiments.lazy_queue);
     ("parallel", "4.3: concurrent partition covers", Experiments.parallel);
+    ("parallel_build", "domain pool: jobs=1 vs jobs=N, identical covers",
+     Experiments.parallel_build);
     ("micro", "query-latency micro-benchmarks", Micro.run);
   ]
 
-let run_experiments names scale_factor =
-  let scale = Bench_common.scale_of scale_factor in
+let run_experiments names scale_factor jobs =
+  let scale = Bench_common.scale_of ~jobs scale_factor in
   let todo =
     match names with
     | [] -> experiments
@@ -61,10 +63,15 @@ let scale_arg =
   let doc = "Workload scale factor (1.0 = default laptop scale)." in
   Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"FACTOR" ~doc)
 
+let jobs_arg =
+  let doc = "Pool size for experiments that exercise the parallel build." in
+  Arg.(value & opt int 4 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let cmd =
   let doc = "Regenerate the HOPI paper's evaluation tables" in
   Cmd.v
     (Cmd.info "hopi-bench" ~doc)
-    Term.(const (fun names scale -> run_experiments names scale) $ names_arg $ scale_arg)
+    Term.(const (fun names scale jobs -> run_experiments names scale jobs)
+          $ names_arg $ scale_arg $ jobs_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -38,7 +38,7 @@ let write_metrics = function
     Hopi_obs.Export.write_json path;
     Fmt.pr "metrics written to %s@." path
 
-let config_of_flags partitioner joiner limit domains =
+let config_of_flags partitioner joiner limit jobs =
   let partitioner =
     match partitioner with
     | "whole" -> Config.Whole
@@ -53,7 +53,7 @@ let config_of_flags partitioner joiner limit domains =
     | "incremental" -> Config.Incremental
     | j -> failwith (Printf.sprintf "unknown joiner %S" j)
   in
-  { Config.default with partitioner; joiner; domains }
+  { Config.default with partitioner; joiner; jobs }
 
 (* {1 gen} *)
 
@@ -80,13 +80,13 @@ let gen kind docs out =
 
 (* {1 build} *)
 
-let build dir partitioner joiner limit domains verbose store_path metrics_path =
+let build dir partitioner joiner limit jobs verbose store_path metrics_path =
   setup_logs verbose;
   let c = load_dir dir in
   Fmt.pr "collection: %d docs, %d elements, %d links (%d unresolved references)@."
     (Collection.n_docs c) (Collection.n_elements c) (Collection.n_links c)
     (Collection.pending_links c);
-  let config = config_of_flags partitioner joiner limit domains in
+  let config = config_of_flags partitioner joiner limit jobs in
   Fmt.pr "config: %a@." Config.pp config;
   let idx, t = Timer.time (fun () -> Hopi.create ~config c) in
   let r = Hopi.last_build idx in
@@ -204,14 +204,15 @@ let build_cmd =
     Arg.(value & opt (some string) None & info [ "store" ] ~docv:"FILE"
            ~doc:"Persist LIN/LOUT tables to this page file.")
   in
-  let domains =
-    Arg.(value & opt int 1 & info [ "domains" ]
-           ~doc:"Worker domains for per-partition covers.")
+  let jobs =
+    Arg.(value & opt int 1 & info [ "j"; "jobs"; "domains" ] ~docv:"N"
+           ~doc:"Worker domains for the build pool (per-partition covers and \
+                 PSG join work; the cover is identical for any value).")
   in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log progress.") in
   Cmd.v (Cmd.info "build" ~doc:"Build the HOPI index and print statistics")
     Term.(const build $ dir_arg $ partitioner_arg $ joiner_arg $ limit_arg
-          $ domains $ verbose $ store $ metrics_arg)
+          $ jobs $ verbose $ store $ metrics_arg)
 
 let query_cmd =
   let expr = Arg.(required & pos 1 (some string) None & info [] ~docv:"EXPR") in

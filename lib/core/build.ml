@@ -5,6 +5,8 @@ module Collection = Hopi_collection.Collection
 module Partitioning = Hopi_collection.Partitioning
 module Weights = Hopi_partition.Weights
 module Timer = Hopi_util.Timer
+module Stats = Hopi_util.Stats
+module Pool = Hopi_util.Pool
 
 let log = Logs.Src.create "hopi.build" ~doc:"HOPI index construction"
 
@@ -14,6 +16,7 @@ module Log = (val Logs.src_log log : Logs.LOG)
    allocation-free, so the multi-domain cover workers report safely. *)
 
 module Counter = Hopi_obs.Counter
+module Gauge = Hopi_obs.Gauge
 module Histogram = Hopi_obs.Histogram
 module Trace = Hopi_obs.Trace
 module Registry = Hopi_obs.Registry
@@ -54,6 +57,20 @@ let h_cover_ns =
 let h_join_ns =
   Registry.histogram "hopi_build_join_duration_ns" ~help:"Join-phase time"
 
+let h_cover_task_ns =
+  Registry.histogram "hopi_build_cover_task_duration_ns"
+    ~help:"Per-partition cover task time (closure + greedy cover), as run \
+           on pool domains"
+
+let g_cover_speedup_pct =
+  Registry.gauge "hopi_build_cover_speedup_pct"
+    ~help:"Cover-phase parallel speedup of the last build, percent \
+           (CPU time across domains / wall time * 100)"
+
+let g_join_speedup_pct =
+  Registry.gauge "hopi_build_join_speedup_pct"
+    ~help:"Join-phase parallel speedup of the last build, percent"
+
 type result = {
   cover : Cover.t;
   partitioning : Partitioning.t;
@@ -65,6 +82,9 @@ type result = {
   partition_seconds : float;
   cover_seconds : float;
   join_seconds : float;
+  jobs : int;
+  cover_cpu_seconds : float;
+  join_cpu_seconds : float;
 }
 
 let make_partitioning (config : Config.t) c =
@@ -79,7 +99,7 @@ let make_partitioning (config : Config.t) c =
     Hopi_partition.Closure_partitioner.partition ~seed:config.Config.seed
       ~max_connections c dg
 
-let run_build (config : Config.t) c =
+let run_build pool (config : Config.t) c =
   let t0 = Timer.start () in
   Log.info (fun m ->
       m "building index for %d documents / %d elements (%a)" (Collection.n_docs c)
@@ -108,43 +128,49 @@ let run_build (config : Config.t) c =
         Hashtbl.replace preselect p (v :: old))
       partitioning.Partitioning.cross_links;
   let closure_connections = ref 0 in
-  (* per-partition covers are independent of each other; with [domains > 1]
-     they are computed concurrently (the paper: "all these computations can
-     be done concurrently", enabling a speedup close to the CPU count with
-     the evenly-sized partitions of the closure-aware partitioner) *)
+  (* per-partition covers are independent of each other; with [jobs > 1]
+     they are computed concurrently on the build's domain pool (the paper:
+     "all these computations can be done concurrently", enabling a speedup
+     close to the CPU count with the evenly-sized partitions of the
+     closure-aware partitioner).  [parallel_map] stores partition [p]'s
+     cover in slot [p] regardless of which domain ran it, so the merge
+     below always proceeds in partition order and the final cover is
+     bit-identical for every [jobs] value. *)
+  let cover_cpu = Timer.Acc.create () in
+  let cover_task_s = Stats.Recorder.create () in
   let cover_one p =
-    let g = Partitioning.element_subgraph partitioning c p in
-    let clo = Closure.compute g in
-    let preselect_centers = Option.value ~default:[] (Hashtbl.find_opt preselect p) in
-    let cover, _ = Builder.build ~preselect_centers clo in
-    (cover, Closure.n_connections clo)
+    Timer.Acc.timed cover_cpu (fun () ->
+        let t0 = Timer.start () in
+        let g = Partitioning.element_subgraph partitioning c p in
+        let clo = Closure.compute g in
+        let preselect_centers =
+          Option.value ~default:[] (Hashtbl.find_opt preselect p)
+        in
+        let cover, _ = Builder.build ~preselect_centers clo in
+        let ns = Timer.elapsed_ns t0 in
+        Histogram.observe h_cover_task_ns (Int64.to_int ns);
+        Stats.Recorder.record cover_task_s (Int64.to_float ns /. 1e9);
+        (cover, Closure.n_connections clo))
   in
   let n_partitions = partitioning.Partitioning.n in
+  let jobs = Pool.jobs pool in
   let results, cover_seconds =
     Trace.with_span "build.cover" (fun () ->
         Timer.time (fun () ->
-        let workers = max 1 (min config.Config.domains n_partitions) in
-        if workers = 1 then Array.init n_partitions cover_one
-        else begin
-          let results = Array.make n_partitions None in
-          let next = Atomic.make 0 in
-          let worker () =
-            let rec loop () =
-              let p = Atomic.fetch_and_add next 1 in
-              if p < n_partitions then begin
-                results.(p) <- Some (cover_one p);
-                loop ()
-              end
-            in
-            loop ()
-          in
-          let spawned = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
-          worker ();
-          List.iter Domain.join spawned;
-          Array.map (function Some r -> r | None -> assert false) results
-        end))
+            Pool.parallel_map pool n_partitions cover_one))
   in
   Histogram.observe h_cover_ns (Timer.ns_of_s cover_seconds);
+  let cover_cpu_seconds = Timer.Acc.total_s cover_cpu in
+  let speedup_pct wall cpu =
+    if wall <= 0.0 then 100 else int_of_float (cpu /. wall *. 100.0)
+  in
+  Gauge.set g_cover_speedup_pct (speedup_pct cover_seconds cover_cpu_seconds);
+  Trace.add "cover_speedup_pct" (speedup_pct cover_seconds cover_cpu_seconds);
+  Log.debug (fun m ->
+      let s = Stats.Recorder.summary cover_task_s in
+      m "cover tasks: n=%d mean=%.4fs p95=%.4fs max=%.4fs (cpu %.2fs / wall %.2fs)"
+        s.Stats.n s.Stats.mean s.Stats.p95 s.Stats.max cover_cpu_seconds
+        cover_seconds);
   let partition_covers = Array.map fst results in
   Array.iter (fun (_, n) -> closure_connections := !closure_connections + n) results;
   let partition_entries =
@@ -159,25 +185,37 @@ let run_build (config : Config.t) c =
   Trace.add "closure_connections" !closure_connections;
   let final = Cover.create ~initial:(Collection.n_elements c) () in
   Array.iter (fun cov -> Cover.union_into ~dst:final cov) partition_covers;
-  let join_entries, join_seconds =
+  let (join_entries, join_cpu_seconds), join_seconds =
     Trace.with_span "build.join" (fun () ->
         Timer.time (fun () ->
         match config.Config.joiner with
         | Config.Incremental ->
-          (Join_incremental.join final partitioning.Partitioning.cross_links)
-            .Join_incremental.entries_added
+          let s = Join_incremental.join final partitioning.Partitioning.cross_links in
+          (s.Join_incremental.entries_added, 0.0)
         | Config.Psg ->
-          (Join_psg.join c partitioning
-             ~partition_cover:(fun p -> partition_covers.(p))
-             ~final)
-            .Join_psg.entries_added
+          let s =
+            Join_psg.join ~pool c partitioning
+              ~partition_cover:(fun p -> partition_covers.(p))
+              ~final
+          in
+          (s.Join_psg.entries_added, s.Join_psg.cpu_seconds)
         | Config.Psg_partitioned budget ->
-          (Join_psg.join ~strategy:(Join_psg.Partitioned budget) c partitioning
-             ~partition_cover:(fun p -> partition_covers.(p))
-             ~final)
-            .Join_psg.entries_added))
+          let s =
+            Join_psg.join ~strategy:(Join_psg.Partitioned budget) ~pool c
+              partitioning
+              ~partition_cover:(fun p -> partition_covers.(p))
+              ~final
+          in
+          (s.Join_psg.entries_added, s.Join_psg.cpu_seconds)))
   in
   Histogram.observe h_join_ns (Timer.ns_of_s join_seconds);
+  (* the incremental joiner is sequential and reports no CPU time: its CPU
+     time is its wall time *)
+  let join_cpu_seconds =
+    if join_cpu_seconds = 0.0 then join_seconds else join_cpu_seconds
+  in
+  Gauge.set g_join_speedup_pct (speedup_pct join_seconds join_cpu_seconds);
+  Trace.add "join_speedup_pct" (speedup_pct join_seconds join_cpu_seconds);
   Counter.add m_join_entries join_entries;
   Counter.add m_cover_entries (Cover.size final);
   Trace.add "join_entries" join_entries;
@@ -197,11 +235,18 @@ let run_build (config : Config.t) c =
     partition_seconds;
     cover_seconds;
     join_seconds;
+    jobs;
+    cover_cpu_seconds;
+    join_cpu_seconds;
   }
 
+(* One pool spans the whole build: the cover phase maps partitions over it
+   and the PSG join reuses the same domains for its traversals and
+   expansions, so a build spawns at most [jobs - 1] domains total. *)
 let build (config : Config.t) c =
   Counter.incr m_builds;
-  Trace.with_span "build" (fun () -> run_build config c)
+  Pool.with_pool ~jobs:config.Config.jobs (fun pool ->
+      Trace.with_span "build" (fun () -> run_build pool config c))
 
 let compression r =
   if Cover.size r.cover = 0 then 1.0

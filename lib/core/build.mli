@@ -14,9 +14,18 @@ type result = {
   partition_seconds : float;
   cover_seconds : float;
   join_seconds : float;
+  jobs : int;  (** size of the domain pool the build ran on *)
+  cover_cpu_seconds : float;
+      (** cover-phase CPU time summed across pool domains;
+          [cover_cpu_seconds /. cover_seconds] is the cover speedup *)
+  join_cpu_seconds : float;  (** likewise for the join phase *)
 }
 
 val build : Config.t -> Hopi_collection.Collection.t -> result
+(** Builds on a {!Hopi_util.Pool} of [config.jobs] domains.  The resulting
+    cover is identical — entry-for-entry and in stored order — for every
+    [jobs] value: per-partition results land in partition-indexed slots and
+    all merging happens on the calling domain in deterministic order. *)
 
 val compression : result -> float
 (** Transitive-closure connections divided by cover entries — the paper's

@@ -12,7 +12,7 @@ type t = {
   weight_scheme : Hopi_partition.Weights.scheme;
   preselect_link_targets : bool;
   seed : int;
-  domains : int;
+  jobs : int;
 }
 
 let default =
@@ -22,7 +22,7 @@ let default =
     weight_scheme = Hopi_partition.Weights.A_times_D;
     preselect_link_targets = true;
     seed = 17;
-    domains = 1;
+    jobs = 1;
   }
 
 let baseline_edbt04 =
@@ -32,7 +32,7 @@ let baseline_edbt04 =
     weight_scheme = Hopi_partition.Weights.Links;
     preselect_link_targets = false;
     seed = 17;
-    domains = 1;
+    jobs = 1;
   }
 
 let pp ppf t =
@@ -43,11 +43,11 @@ let pp ppf t =
     | Random_nodes n -> Printf.sprintf "random(max_elements=%d)" n
     | Closure_aware n -> Printf.sprintf "closure(max_connections=%d)" n
   in
-  Format.fprintf ppf "partitioner=%s joiner=%s weights=%s preselect=%b seed=%d domains=%d"
+  Format.fprintf ppf "partitioner=%s joiner=%s weights=%s preselect=%b seed=%d jobs=%d"
     part
     (match t.joiner with
      | Incremental -> "incremental"
      | Psg -> "psg"
      | Psg_partitioned n -> Printf.sprintf "psg-partitioned(%d)" n)
     (Hopi_partition.Weights.scheme_name t.weight_scheme)
-    t.preselect_link_targets t.seed t.domains
+    t.preselect_link_targets t.seed t.jobs

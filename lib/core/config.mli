@@ -24,10 +24,11 @@ type t = {
   weight_scheme : Hopi_partition.Weights.scheme;
   preselect_link_targets : bool;  (** Section 4.2 center preselection *)
   seed : int;  (** seed for the (randomized) partitioners *)
-  domains : int;
+  jobs : int;
       (** per-partition covers are independent, so they "can be done
-          concurrently" (Section 4.1) — number of worker domains (1 =
-          sequential) *)
+          concurrently" (Section 4.1) — total worker-domain parallelism of
+          the build's {!Hopi_util.Pool} (1 = sequential).  The cover is
+          identical for any [jobs]: results merge in partition order. *)
 }
 
 val default : t

@@ -7,6 +7,8 @@ module Closure = Hopi_graph.Closure
 module Int_set = Hopi_util.Int_set
 module Partitioning = Hopi_collection.Partitioning
 module Psg = Hopi_collection.Psg
+module Pool = Hopi_util.Pool
+module Timer = Hopi_util.Timer
 
 let log = Logs.Src.create "hopi.join.psg" ~doc:"PSG-based cross-partition join"
 
@@ -41,6 +43,11 @@ let h_hbar_targets =
   Registry.histogram "hopi_join_psg_hbar_targets"
     ~help:"H-bar target-set size per link source"
 
+let h_task_ns =
+  Registry.histogram "hopi_join_psg_task_duration_ns"
+    ~help:"Per-item time of parallelisable join work (H-bar traversals, \
+           chunk closures, ancestor/descendant expansions)"
+
 type strategy = Bfs | Partitioned of int
 
 type stats = {
@@ -48,22 +55,75 @@ type stats = {
   psg_edges : int;
   psg_partitions : int;
   entries_added : int;
+  cpu_seconds : float;
 }
 
-(* H̄out as a table: link source -> set of link targets it reaches in the
-   PSG (the source itself excluded; self-entries are implicit). *)
+(* The parallel sections below run read-only item functions on the pool
+   (BFS over the frozen PSG, closure of a chunk subgraph, label expansion
+   against the frozen partition covers) and collect results into per-index
+   slots; all writes to shared structures happen afterwards on the calling
+   domain, iterating the slots in sorted order.  That split is what keeps
+   the join deterministic — and hence the final cover bit-identical — for
+   every [jobs] value. *)
 
-let hbar_bfs (psg : Psg.t) =
-  let hbar = Hashtbl.create (Ihs.cardinal psg.Psg.sources) in
+type par_clock = { items : Timer.Acc.t; wall : Timer.Acc.t }
+
+(* [pmap] also clocks the region: the join's CPU time is its own wall time
+   with each parallel region's wall replaced by the summed item times —
+   the sequential sections count once, the fanned-out work per domain. *)
+let pmap pool pc n f =
+  let t0 = Timer.start () in
+  let r =
+    match pool with
+    | None -> Array.init n f
+    | Some pool -> Pool.parallel_map pool n f
+  in
+  Timer.Acc.add_ns pc.wall (Timer.elapsed_ns t0);
+  r
+
+(* Run [f i], record its duration into [cpu] and the task histogram. *)
+let task pc f i =
+  let t0 = Timer.start () in
+  let r = f i in
+  let ns = Timer.elapsed_ns t0 in
+  Timer.Acc.add_ns pc.items ns;
+  Histogram.observe h_task_ns (Int64.to_int ns);
+  r
+
+let sorted_array ihs =
+  let a = Array.make (Ihs.cardinal ihs) 0 in
+  let i = ref 0 in
   Ihs.iter
-    (fun s ->
-      let reached = Traversal.reachable psg.Psg.graph [ s ] in
-      let targets = Ihs.create () in
-      Ihs.iter
-        (fun x -> if Ihs.mem psg.Psg.targets x && x <> s then Ihs.add targets x)
-        reached;
-      if not (Ihs.is_empty targets) then Hashtbl.replace hbar s targets)
-    psg.Psg.sources;
+    (fun x ->
+      a.(!i) <- x;
+      incr i)
+    ihs;
+  Array.sort compare a;
+  a
+
+(* H̄out as a table: link source -> set of link targets it reaches in the
+   PSG (the source itself excluded; self-entries are implicit).  One
+   traversal per source, independent of all others — the per-source work
+   fans out over the pool; the table is assembled sequentially in sorted
+   source order. *)
+let hbar_bfs ?pool ~pc (psg : Psg.t) =
+  let sources = sorted_array psg.Psg.sources in
+  let per_source =
+    pmap pool pc (Array.length sources)
+      (task pc (fun i ->
+           let s = sources.(i) in
+           let reached = Traversal.reachable psg.Psg.graph [ s ] in
+           let targets = Ihs.create () in
+           Ihs.iter
+             (fun x -> if Ihs.mem psg.Psg.targets x && x <> s then Ihs.add targets x)
+             reached;
+           targets))
+  in
+  let hbar = Hashtbl.create (Ihs.cardinal psg.Psg.sources) in
+  Array.iteri
+    (fun i targets ->
+      if not (Ihs.is_empty targets) then Hashtbl.replace hbar sources.(i) targets)
+    per_source;
   (hbar, 1)
 
 (* The paper's recursion: partition the PSG so that no link edge crosses
@@ -72,7 +132,7 @@ let hbar_bfs (psg : Psg.t) =
    connection, i.e. goes from a link target to a link source), compute
    partial H̄ covers per PSG partition from materialised closures, and
    propagate along cross edges until a fixpoint. *)
-let hbar_partitioned (psg : Psg.t) ~max_connections =
+let hbar_partitioned ?pool ~pc (psg : Psg.t) ~max_connections =
   let uf = Union_find.create () in
   Digraph.iter_nodes psg.Psg.graph (fun v -> ignore (Union_find.find uf v));
   List.iter (fun (s, t) -> Union_find.union uf s t) psg.Psg.link_edges;
@@ -119,18 +179,19 @@ let hbar_partitioned (psg : Psg.t) ~max_connections =
       current := members @ !current)
     components;
   flush_chunk ();
-  (* per-chunk closures *)
+  (* per-chunk closures: chunks are disjoint subgraphs, so their closures
+     compute independently on the pool *)
   let chunk_members = Array.make (max !n_chunks 1) [] in
   Hashtbl.iter
     (fun v ch -> chunk_members.(ch) <- v :: chunk_members.(ch))
     chunk_of;
   let chunk_closure =
-    Array.map
-      (fun members ->
-        let keep = Ihs.create () in
-        List.iter (fun v -> Ihs.add keep v) members;
-        Closure.compute (Digraph.induced_subgraph psg.Psg.graph keep))
-      chunk_members
+    pmap pool pc
+      (Array.length chunk_members)
+      (task pc (fun ch ->
+           let keep = Ihs.create () in
+           List.iter (fun v -> Ihs.add keep v) chunk_members.(ch);
+           Closure.compute (Digraph.induced_subgraph psg.Psg.graph keep)))
   in
   (* initial H̄ within chunks *)
   let hbar = Hashtbl.create (Ihs.cardinal psg.Psg.sources) in
@@ -196,8 +257,10 @@ let hbar_partitioned (psg : Psg.t) ~max_connections =
   done;
   (hbar, !n_chunks)
 
-let join ?(strategy = Bfs) c (p : Partitioning.t) ~partition_cover ~final =
+let join ?(strategy = Bfs) ?pool c (p : Partitioning.t) ~partition_cover ~final =
   Counter.incr m_joins;
+  let t_all = Timer.start () in
+  let pc = { items = Timer.Acc.create (); wall = Timer.Acc.create () } in
   let before = Cover.size final in
   let cover_of_element e = partition_cover (Partitioning.part_of_element p c e) in
   let reaches t s =
@@ -213,28 +276,51 @@ let join ?(strategy = Bfs) c (p : Partitioning.t) ~partition_cover ~final =
   let hbar, psg_partitions =
     Trace.with_span "join.psg.hbar" (fun () ->
         match strategy with
-        | Bfs -> hbar_bfs psg
-        | Partitioned max_connections -> hbar_partitioned psg ~max_connections)
+        | Bfs -> hbar_bfs ?pool ~pc psg
+        | Partitioned max_connections ->
+          hbar_partitioned ?pool ~pc psg ~max_connections)
   in
   Histogram.observe h_psg_chunks psg_partitions;
   Hashtbl.iter (fun _ targets -> Histogram.observe h_hbar_targets (Ihs.cardinal targets)) hbar;
   Trace.with_span "join.psg.apply" (fun () ->
       (* Ĥ: copy H̄out(s) to every ancestor of s in s's element partition — the
-         ancestors include s itself, which realises H̄ proper *)
-      Hashtbl.iter
-        (fun s targets ->
-          let ancestors = Cover.ancestors (cover_of_element s) s in
-          Ihs.iter
-            (fun a -> Ihs.iter (fun t -> Cover.add_out final ~node:a ~center:t) targets)
+         ancestors include s itself, which realises H̄ proper.  Expanding the
+         ancestor/descendant sets only reads the (frozen) partition covers,
+         so it fans out over the pool; [final] is then written sequentially
+         in sorted order. *)
+      let sources =
+        Array.of_list
+          (List.sort compare
+             (Hashtbl.fold (fun s _ acc -> s :: acc) hbar []))
+      in
+      let source_entries =
+        pmap pool pc (Array.length sources)
+          (task pc (fun i ->
+               let s = sources.(i) in
+               let targets = sorted_array (Hashtbl.find hbar s) in
+               (sorted_array (Cover.ancestors (cover_of_element s) s), targets)))
+      in
+      Array.iter
+        (fun (ancestors, targets) ->
+          Array.iter
+            (fun a ->
+              Array.iter (fun t -> Cover.add_out final ~node:a ~center:t) targets)
             ancestors)
-        hbar;
+        source_entries;
       (* Ĥ on the in-side: every partition-level descendant of a link target t
          gets t in its Lin (H̄in(t) = {t} is implicit on t itself) *)
-      Ihs.iter
-        (fun t ->
-          let descendants = Cover.descendants (cover_of_element t) t in
-          Ihs.iter (fun d -> Cover.add_in final ~node:d ~center:t) descendants)
-        psg.Psg.targets);
+      let targets = sorted_array psg.Psg.targets in
+      let target_entries =
+        pmap pool pc (Array.length targets)
+          (task pc (fun i ->
+               let t = targets.(i) in
+               sorted_array (Cover.descendants (cover_of_element t) t)))
+      in
+      Array.iteri
+        (fun i descendants ->
+          let t = targets.(i) in
+          Array.iter (fun d -> Cover.add_in final ~node:d ~center:t) descendants)
+        target_entries);
   let entries_added = Cover.size final - before in
   Counter.add m_entries entries_added;
   Log.info (fun m ->
@@ -246,4 +332,7 @@ let join ?(strategy = Bfs) c (p : Partitioning.t) ~partition_cover ~final =
     psg_edges = Digraph.n_edges psg.Psg.graph;
     psg_partitions;
     entries_added;
+    cpu_seconds =
+      Timer.elapsed_s t_all -. Timer.Acc.total_s pc.wall
+      +. Timer.Acc.total_s pc.items;
   }

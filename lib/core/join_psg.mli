@@ -30,10 +30,14 @@ type stats = {
   psg_edges : int;
   psg_partitions : int;  (** 1 for [Bfs] *)
   entries_added : int;
+  cpu_seconds : float;
+      (** CPU time summed across domains (equals wall time when no pool is
+          given); [cpu_seconds /. join wall time] is the join speedup. *)
 }
 
 val join :
   ?strategy:strategy ->
+  ?pool:Hopi_util.Pool.t ->
   Hopi_collection.Collection.t ->
   Hopi_collection.Partitioning.t ->
   partition_cover:(int -> Hopi_twohop.Cover.t) ->
@@ -41,4 +45,11 @@ val join :
   stats
 (** [partition_cover p] must be the 2-hop cover of partition [p]; [final]
     (already containing the union of the partition covers) receives the
-    [H̄]/[Ĥ] entries. *)
+    [H̄]/[Ĥ] entries.
+
+    With [pool], the read-only bulk work — H̄ traversals ([Bfs]), per-chunk
+    closures ([Partitioned]), and the partition-level ancestor/descendant
+    expansions of [Ĥ] — fans out over the pool's domains.  All writes to
+    [final] happen on the calling domain in sorted node order, so the
+    resulting cover is identical (entry-for-entry and in stored order) with
+    and without a pool. *)

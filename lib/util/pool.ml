@@ -1,0 +1,160 @@
+(* Fixed-size domain pool.
+
+   Workers sleep on [cond] between submissions.  A submission publishes a
+   [job] under the mutex and bumps [epoch]; a worker that wakes up runs the
+   job whose epoch it has not seen yet, so a worker that oversleeps an
+   entire job simply waits for the next one (it must never touch a drained
+   job's results).  Completion is counted per *item*, not per worker: the
+   submitter waits until [completed = n], which is exact regardless of how
+   many workers ever woke up.
+
+   Item functions run outside the mutex; only the atomic cursor is shared,
+   fetched in [chunk]-sized strides. *)
+
+type job = {
+  fn : int -> unit;
+  n : int;
+  chunk : int;
+  next : int Atomic.t;
+  completed : int Atomic.t;
+}
+
+type t = {
+  size : int;
+  mu : Mutex.t;
+  cond : Condition.t; (* both "new job" and "items finished" *)
+  mutable job : job option; (* protected by [mu] *)
+  mutable epoch : int; (* protected by [mu]; bumped per submission *)
+  mutable stop : bool; (* protected by [mu] *)
+  mutable workers : unit Domain.t list;
+  failure : (exn * Printexc.raw_backtrace) option Atomic.t;
+}
+
+(* True while the current domain is executing pool items: a nested
+   submission from inside an item falls back to a sequential loop instead
+   of deadlocking on [job <> None]. *)
+let in_item : bool ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref false)
+
+let run_items t job =
+  let flag = Domain.DLS.get in_item in
+  flag := true;
+  let rec go () =
+    let start = Atomic.fetch_and_add job.next job.chunk in
+    if start < job.n then begin
+      let stop_ = min job.n (start + job.chunk) in
+      for i = start to stop_ - 1 do
+        if Atomic.get t.failure = None then
+          try job.fn i
+          with e ->
+            let bt = Printexc.get_raw_backtrace () in
+            ignore (Atomic.compare_and_set t.failure None (Some (e, bt)))
+      done;
+      ignore (Atomic.fetch_and_add job.completed (stop_ - start));
+      go ()
+    end
+  in
+  Fun.protect go ~finally:(fun () -> flag := false)
+
+let worker t =
+  let seen = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock t.mu;
+    while (not t.stop) && (t.job = None || t.epoch = !seen) do
+      Condition.wait t.cond t.mu
+    done;
+    if t.stop then begin
+      Mutex.unlock t.mu;
+      running := false
+    end
+    else begin
+      seen := t.epoch;
+      let job = Option.get t.job in
+      Mutex.unlock t.mu;
+      run_items t job;
+      Mutex.lock t.mu;
+      Condition.broadcast t.cond;
+      Mutex.unlock t.mu
+    end
+  done
+
+let create ~jobs =
+  let size = max 1 jobs in
+  let t =
+    {
+      size;
+      mu = Mutex.create ();
+      cond = Condition.create ();
+      job = None;
+      epoch = 0;
+      stop = false;
+      workers = [];
+      failure = Atomic.make None;
+    }
+  in
+  t.workers <- List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let jobs t = t.size
+
+let shutdown t =
+  Mutex.lock t.mu;
+  t.stop <- true;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mu;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect (fun () -> f t) ~finally:(fun () -> shutdown t)
+
+let sequential n fn =
+  for i = 0 to n - 1 do
+    fn i
+  done
+
+let parallel_iter t ?(chunk = 1) n fn =
+  if n <= 0 then ()
+  else if t.size = 1 || n = 1 || !(Domain.DLS.get in_item) then sequential n fn
+  else begin
+    let job =
+      { fn; n; chunk = max 1 chunk; next = Atomic.make 0; completed = Atomic.make 0 }
+    in
+    Atomic.set t.failure None;
+    Mutex.lock t.mu;
+    if t.job <> None then begin
+      Mutex.unlock t.mu;
+      invalid_arg "Hopi_util.Pool: concurrent submissions on one pool"
+    end;
+    t.job <- Some job;
+    t.epoch <- t.epoch + 1;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.mu;
+    run_items t job;
+    Mutex.lock t.mu;
+    while Atomic.get job.completed < job.n do
+      Condition.wait t.cond t.mu
+    done;
+    t.job <- None;
+    Mutex.unlock t.mu;
+    match Atomic.get t.failure with
+    | Some (e, bt) ->
+      Atomic.set t.failure None;
+      Printexc.raise_with_backtrace e bt
+    | None -> ()
+  end
+
+let parallel_map t ?chunk n f =
+  if n <= 0 then [||]
+  else begin
+    let results = Array.make n None in
+    parallel_iter t ?chunk n (fun i -> results.(i) <- Some (f i));
+    Array.map
+      (function
+        | Some r -> r
+        | None -> assert false (* parallel_iter ran every index *))
+      results
+  end
+
+let map_array t ?chunk f a = parallel_map t ?chunk (Array.length a) (fun i -> f a.(i))

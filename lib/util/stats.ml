@@ -69,6 +69,43 @@ let summary xs =
     }
   end
 
+(* A mutex-protected sample buffer for readings taken on several domains
+   at once (per-partition cover times from pool workers).  [summary] runs
+   the exact digest above over a snapshot, so no sample is lost and no
+   torn float is ever read — the lock is per recording, which is fine for
+   per-item (not per-operation) granularity. *)
+module Recorder = struct
+  type t = { mu : Mutex.t; mutable samples : float list; mutable n : int }
+
+  let create () = { mu = Mutex.create (); samples = []; n = 0 }
+
+  let record t x =
+    Mutex.lock t.mu;
+    t.samples <- x :: t.samples;
+    t.n <- t.n + 1;
+    Mutex.unlock t.mu
+
+  let count t =
+    Mutex.lock t.mu;
+    let n = t.n in
+    Mutex.unlock t.mu;
+    n
+
+  let snapshot t =
+    Mutex.lock t.mu;
+    let xs = Array.of_list t.samples in
+    Mutex.unlock t.mu;
+    xs
+
+  let reset t =
+    Mutex.lock t.mu;
+    t.samples <- [];
+    t.n <- 0;
+    Mutex.unlock t.mu
+
+  let summary t = summary (snapshot t)
+end
+
 let z_98 = 2.3263
 
 let proportion_ci_upper ~successes ~samples ~z =

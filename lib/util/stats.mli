@@ -30,6 +30,27 @@ val empty_summary : summary
 val summary : float array -> summary
 (** Exact digest of a sample; [empty_summary] for an empty array. *)
 
+(** Mutex-protected sample collector for readings produced concurrently on
+    several domains (e.g. per-partition cover times from pool workers): no
+    recording is lost, and {!Recorder.summary} digests a consistent
+    snapshot. *)
+module Recorder : sig
+  type t
+
+  val create : unit -> t
+
+  val record : t -> float -> unit
+
+  val count : t -> int
+
+  val snapshot : t -> float array
+  (** Fresh array; order unspecified. *)
+
+  val summary : t -> summary
+
+  val reset : t -> unit
+end
+
 val proportion_ci_upper : successes:int -> samples:int -> z:float -> float
 (** Upper bound of the Wald confidence interval for a proportion, clamped to
     [0,1].  The paper samples at most 13,600 candidate edges and takes the

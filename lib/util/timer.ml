@@ -34,3 +34,29 @@ let pp_duration ppf s =
   if s < 0.001 then Format.fprintf ppf "%.1fus" (s *. 1e6)
   else if s < 1.0 then Format.fprintf ppf "%.1fms" (s *. 1e3)
   else Format.fprintf ppf "%.1fs" s
+
+(* Shared duration accumulator: one [Atomic.fetch_and_add] per recording,
+   so pool workers timing their own items never lose an update (a plain
+   [float ref] would drop concurrent read-modify-writes).  The total is the
+   phase's CPU time; total / wall time is the phase's parallel speedup. *)
+module Acc = struct
+  type nonrec t = int Atomic.t (* nanoseconds *)
+
+  let create () = Atomic.make 0
+
+  let add_ns t ns =
+    let ns = Int64.to_int ns in
+    ignore (Atomic.fetch_and_add t (if ns < 0 then 0 else ns))
+
+  let add_s t s = ignore (Atomic.fetch_and_add t (ns_of_s s))
+
+  let total_ns t = Atomic.get t
+
+  let total_s t = float_of_int (Atomic.get t) *. 1e-9
+
+  let reset t = Atomic.set t 0
+
+  let timed t f =
+    let t0 = start () in
+    Fun.protect f ~finally:(fun () -> add_ns t (elapsed_ns t0))
+end

@@ -25,3 +25,26 @@ val time : (unit -> 'a) -> 'a * float
 
 val pp_duration : Format.formatter -> float -> unit
 (** Human-readable seconds, e.g. ["820.8s"] or ["3.2ms"]. *)
+
+(** Atomic duration accumulator, safe to feed from concurrent pool workers
+    (no lost updates, unlike a [float ref]).  Summing every worker's item
+    time gives a phase's CPU time; CPU / wall is its parallel speedup. *)
+module Acc : sig
+  type t
+
+  val create : unit -> t
+
+  val add_ns : t -> int64 -> unit
+  (** Negative durations clamp to zero. *)
+
+  val add_s : t -> float -> unit
+
+  val total_ns : t -> int
+
+  val total_s : t -> float
+
+  val reset : t -> unit
+
+  val timed : t -> (unit -> 'a) -> 'a
+  (** Run [f] and add its duration (also on exceptions). *)
+end

@@ -57,10 +57,10 @@ let config_cases =
       } );
     ( "no preselection",
       { Config.default with preselect_link_targets = false } );
-    ( "parallel (2 domains)",
-      { Config.default with partitioner = Config.Closure_aware 3000; domains = 2 } );
-    ( "parallel (4 domains)",
-      { Config.default with partitioner = Config.Random_nodes 100; domains = 4 } );
+    ( "parallel (2 jobs)",
+      { Config.default with partitioner = Config.Closure_aware 3000; jobs = 2 } );
+    ( "parallel (4 jobs)",
+      { Config.default with partitioner = Config.Random_nodes 100; jobs = 4 } );
   ]
 
 let test_build_config (name, config) () =

@@ -361,6 +361,29 @@ let test_multi_domain () =
     (Array.fold_left ( + ) 0 (Histogram.bucket_counts h));
   Alcotest.(check int) "max tracked" 1023 (Histogram.max_value h)
 
+(* Same shape for the timing aggregators fed by pool workers: a plain
+   [float ref] would lose updates under this load, Timer.Acc and
+   Stats.Recorder must not. *)
+let test_multi_domain_timing () =
+  let acc = Hopi_util.Timer.Acc.create () in
+  let rec_ = Hopi_util.Stats.Recorder.create () in
+  let per_domain = 50_000 and n_domains = 4 in
+  let work () =
+    for _ = 1 to per_domain do
+      Hopi_util.Timer.Acc.add_ns acc 3L;
+      Hopi_util.Stats.Recorder.record rec_ 2.0
+    done
+  in
+  let domains = List.init (n_domains - 1) (fun _ -> Domain.spawn work) in
+  work ();
+  List.iter Domain.join domains;
+  let total = n_domains * per_domain in
+  Alcotest.(check int) "no lost ns" (3 * total) (Hopi_util.Timer.Acc.total_ns acc);
+  Alcotest.(check int) "no lost samples" total (Hopi_util.Stats.Recorder.count rec_);
+  let s = Hopi_util.Stats.Recorder.summary rec_ in
+  Alcotest.(check int) "summary n" total s.Hopi_util.Stats.n;
+  Alcotest.(check (float 1e-9)) "summary mean" 2.0 s.Hopi_util.Stats.mean
+
 let suite =
   [
     ( "obs",
@@ -375,5 +398,7 @@ let suite =
         Alcotest.test_case "json export" `Quick test_json_export;
         Alcotest.test_case "prometheus export" `Quick test_prometheus_export;
         Alcotest.test_case "multi-domain stress" `Quick test_multi_domain;
+        Alcotest.test_case "multi-domain timing aggregators" `Quick
+          test_multi_domain_timing;
       ] );
   ]

@@ -288,6 +288,81 @@ let test_stats_ci_upper () =
   check_bool "clamped" true (u <= 1.0);
   check_float "all hits" 1.0 (Stats.proportion_ci_upper ~successes:100 ~samples:100 ~z:2.0)
 
+(* {1 Pool} *)
+
+exception Boom of int
+
+let test_pool_map_matches_sequential () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let expected = Array.init 500 (fun i -> i * i) in
+      check_bool "jobs" true (Pool.jobs pool = 4);
+      Alcotest.(check (array int)) "map"
+        expected
+        (Pool.parallel_map pool 500 (fun i -> i * i));
+      Alcotest.(check (array int)) "map chunk=7"
+        expected
+        (Pool.parallel_map pool ~chunk:7 500 (fun i -> i * i));
+      Alcotest.(check (array int)) "map_array"
+        expected
+        (Pool.map_array pool (fun i -> i * i) (Array.init 500 Fun.id));
+      Alcotest.(check (array int)) "empty" [||] (Pool.parallel_map pool 0 (fun i -> i)))
+
+let test_pool_sequential_fallback () =
+  Pool.with_pool ~jobs:1 (fun pool ->
+      check_int "clamped" 1 (Pool.jobs pool);
+      check_int "map" 42 (Pool.parallel_map pool 10 (fun i -> i + 33)).(9));
+  Pool.with_pool ~jobs:0 (fun pool -> check_int "jobs 0 clamps" 1 (Pool.jobs pool))
+
+let test_pool_iter_each_once () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      let n = 1000 in
+      let hits = Array.init n (fun _ -> Atomic.make 0) in
+      Pool.parallel_iter pool ~chunk:13 n (fun i -> Atomic.incr hits.(i));
+      check_bool "each index exactly once" true
+        (Array.for_all (fun a -> Atomic.get a = 1) hits))
+
+let test_pool_exception_propagates () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      (match Pool.parallel_map pool 100 (fun i -> if i = 57 then raise (Boom i) else i) with
+       | _ -> Alcotest.fail "expected Boom"
+       | exception Boom 57 -> ());
+      (* the pool survives a failed submission *)
+      check_int "usable after failure" 99 (Pool.parallel_map pool 100 Fun.id).(99))
+
+let test_pool_nested_submission () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let inner_total =
+        Pool.parallel_map pool 8 (fun i ->
+            (* nested submission must run sequentially, not deadlock *)
+            Array.fold_left ( + ) 0 (Pool.parallel_map pool 10 (fun j -> (i * 10) + j)))
+      in
+      check_int "nested sums" ((80 * 79) / 2) (Array.fold_left ( + ) 0 inner_total))
+
+let test_pool_reuse_across_submissions () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      for round = 1 to 50 do
+        let r = Pool.parallel_map pool 20 (fun i -> i * round) in
+        check_int (Printf.sprintf "round %d" round) (19 * round) r.(19)
+      done)
+
+(* {1 Timer.Acc} *)
+
+let test_timer_acc () =
+  let acc = Timer.Acc.create () in
+  Timer.Acc.add_ns acc 500L;
+  Timer.Acc.add_ns acc 1500L;
+  check_int "total_ns" 2000 (Timer.Acc.total_ns acc);
+  Timer.Acc.add_ns acc (-7L);
+  check_int "negative clamps" 2000 (Timer.Acc.total_ns acc);
+  Timer.Acc.add_s acc 1e-6;
+  check_int "add_s" 3000 (Timer.Acc.total_ns acc);
+  check_bool "total_s" true (abs_float (Timer.Acc.total_s acc -. 3e-6) < 1e-12);
+  let x = Timer.Acc.timed acc (fun () -> 7) in
+  check_int "timed passthrough" 7 x;
+  check_bool "timed accumulates" true (Timer.Acc.total_ns acc >= 3000);
+  Timer.Acc.reset acc;
+  check_int "reset" 0 (Timer.Acc.total_ns acc)
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let suite =
@@ -339,4 +414,17 @@ let suite =
         Alcotest.test_case "summary" `Quick test_stats_summary;
         Alcotest.test_case "ci upper" `Quick test_stats_ci_upper;
       ] );
+    ( "util.pool",
+      [
+        Alcotest.test_case "map matches sequential" `Quick
+          test_pool_map_matches_sequential;
+        Alcotest.test_case "sequential fallback" `Quick test_pool_sequential_fallback;
+        Alcotest.test_case "iter each once" `Quick test_pool_iter_each_once;
+        Alcotest.test_case "exception propagates" `Quick
+          test_pool_exception_propagates;
+        Alcotest.test_case "nested submission" `Quick test_pool_nested_submission;
+        Alcotest.test_case "reuse across submissions" `Quick
+          test_pool_reuse_across_submissions;
+      ] );
+    ("util.timer", [ Alcotest.test_case "acc" `Quick test_timer_acc ]);
   ]
