@@ -512,6 +512,87 @@ let lazy_queue (s : scale) =
     (float_of_int eager_stats.Hopi_twohop.Builder.recomputations
     /. Float.max 1.0 (float_of_int lazy_stats.Hopi_twohop.Builder.recomputations))
 
+(* {1 Storage durability: atomic save latency, fsync cost, crash recovery} *)
+
+let storage_durability (s : scale) =
+  section "storage durability: atomic save latency, fsync cost, crash recovery";
+  let c = dblp_collection (max 5 (s.small_docs / 2)) in
+  let r = Build.build Config.default c in
+  let cover = r.Build.cover in
+  note "collection: %d elements, cover %d entries" (Collection.n_elements c)
+    (Cover.size cover);
+  (* initial save (all pages fresh: nothing to journal) and an incremental
+     save (committed pages get journaled first), on a real file *)
+  let row fsync =
+    let path = Filename.temp_file "hopi_dur" ".db" in
+    Fun.protect
+      ~finally:(fun () ->
+        if Sys.file_exists path then Sys.remove path;
+        if Sys.file_exists (path ^ "-journal") then Sys.remove (path ^ "-journal"))
+      (fun () ->
+        let pager = Pager.create ~pool_pages:256 ~fsync (Pager.File path) in
+        let store = Cover_store.create pager in
+        Cover_store.load_cover store cover;
+        let (), t_initial = Timer.time (fun () -> Cover_store.save store) in
+        for i = 0 to 499 do
+          Cover_store.insert_in store ~node:(1_000_000 + i) ~center:(i mod 50) ~dist:0
+        done;
+        let st0 = Pager.stats pager in
+        let (), t_incr = Timer.time (fun () -> Cover_store.save store) in
+        let st1 = Pager.stats pager in
+        let pages = Pager.n_pages pager in
+        Pager.close pager;
+        [
+          (if fsync then "on" else "off");
+          Fmt.str "%.1fms" (1000.0 *. t_initial);
+          Fmt.str "%.1fms" (1000.0 *. t_incr);
+          string_of_int st1.Pager.fsyncs;
+          string_of_int (st1.Pager.journaled_pages - st0.Pager.journaled_pages);
+          string_of_int pages;
+        ])
+  in
+  print_table
+    [ "fsync"; "initial save"; "incr save"; "fsyncs"; "journaled"; "pages" ]
+    [ row true; row false ];
+  note "fsync=off still journals (process-crash-safe) but issues no sync points.";
+  (* recovery latency: crash an incremental save just before its commit
+     point (journal at its fattest), then time the rollback on reopen *)
+  let module Fv = Hopi_fault_vfs.Fault_vfs in
+  let fv = Fv.create () in
+  let vfs = Fv.vfs fv in
+  let pager = Pager.create_vfs ~pool_pages:64 ~vfs "dur.db" in
+  let store = Cover_store.create pager in
+  Cover_store.load_cover store cover;
+  Cover_store.save store;
+  Pager.close pager;
+  let mutate () =
+    let pgr = Pager.open_vfs ~pool_pages:64 ~vfs "dur.db" in
+    let st = Cover_store.open_pager pgr in
+    for i = 0 to 499 do
+      Cover_store.insert_in st ~node:(2_000_000 + i) ~center:(i mod 50) ~dist:0
+    done;
+    Cover_store.save st;
+    Pager.close pgr
+  in
+  let s1 = Fv.snapshot fv in
+  Fv.reset_ops fv;
+  mutate ();
+  let n_ops = Fv.op_count fv in
+  Fv.restore fv s1;
+  Fv.reset_ops fv;
+  Fv.arm_crash fv ~op:(n_ops - 2) ~mode:Fv.Drop_unsynced ();
+  (match mutate () with
+  | () -> failwith "storage_durability: crash did not fire"
+  | exception Fv.Crash -> ());
+  let pgr, t_recover = Timer.time (fun () -> Pager.open_vfs ~pool_pages:64 ~vfs "dur.db") in
+  let clean = Pager.verify_pages pgr = [] in
+  let reopened = Cover_store.open_pager pgr in
+  note "crash injected at op %d/%d of an incremental save;" (n_ops - 2) n_ops;
+  note "journal rollback on reopen: %.2fms; %d pages verify clean: %b; %d entries"
+    (1000.0 *. t_recover) (Pager.n_pages pgr) clean
+    (Cover_store.n_entries reopened);
+  if not clean then failwith "storage_durability: corruption after recovery"
+
 (* {1 Correctness gate} *)
 
 let selfcheck (_ : scale) =

@@ -24,6 +24,8 @@ let experiments : (string * string * (Bench_common.scale -> unit)) list =
     ("parallel", "4.3: concurrent partition covers", Experiments.parallel);
     ("parallel_build", "domain pool: jobs=1 vs jobs=N, identical covers",
      Experiments.parallel_build);
+    ("storage_durability", "atomic save latency, fsync cost, crash recovery",
+     Experiments.storage_durability);
     ("micro", "query-latency micro-benchmarks", Micro.run);
   ]
 

@@ -80,7 +80,7 @@ let gen kind docs out =
 
 (* {1 build} *)
 
-let build dir partitioner joiner limit jobs verbose store_path metrics_path =
+let build dir partitioner joiner limit jobs verbose store_path no_fsync metrics_path =
   setup_logs verbose;
   let c = load_dir dir in
   Fmt.pr "collection: %d docs, %d elements, %d links (%d unresolved references)@."
@@ -98,7 +98,10 @@ let build dir partitioner joiner limit jobs verbose store_path metrics_path =
   (match store_path with
    | None -> ()
    | Some path ->
-     let pager = Hopi_storage.Pager.create ~pool_pages:512 (Hopi_storage.Pager.File path) in
+     let pager =
+       Hopi_storage.Pager.create ~pool_pages:512 ~fsync:(not no_fsync)
+         (Hopi_storage.Pager.File path)
+     in
      let store = Hopi.to_store idx pager in
      Hopi_storage.Cover_store.save store;
      Fmt.pr "stored %d LIN/LOUT rows on %d pages in %s@."
@@ -120,6 +123,36 @@ let inspect path =
     (Hopi_storage.Pager.n_pages pager)
     (Hopi_storage.Pager.size_bytes pager / 1024);
   Hopi_storage.Pager.close pager
+
+(* {1 verify-store} *)
+
+let verify_store path verbose =
+  setup_logs verbose;
+  let module S = Hopi_storage in
+  match S.Pager.open_existing path with
+  | exception S.Storage_error.Storage_error e ->
+    Fmt.epr "%s: %s@." path (S.Storage_error.to_string e);
+    exit 1
+  | pager ->
+    let bad = S.Pager.verify_pages pager in
+    if bad <> [] then begin
+      Fmt.pr "%s: CHECKSUM FAILURE on %d of %d page(s): %s@." path (List.length bad)
+        (S.Pager.n_pages pager)
+        (String.concat ", " (List.map string_of_int bad));
+      exit 1
+    end;
+    let kind =
+      match S.Catalog.read pager with
+      | cat ->
+        (match cat.S.Catalog.kind with S.Catalog.Cover -> "cover" | S.Catalog.Closure -> "closure")
+      | exception S.Storage_error.Storage_error e ->
+        Fmt.epr "%s: bad catalog: %s@." path (S.Storage_error.to_string e);
+        exit 1
+    in
+    Fmt.pr "%s: ok — %s store, %d pages (%d KiB), all checksums verified@." path kind
+      (S.Pager.n_pages pager)
+      (S.Pager.size_bytes pager / 1024);
+    S.Pager.close pager
 
 (* {1 query} *)
 
@@ -209,10 +242,16 @@ let build_cmd =
            ~doc:"Worker domains for the build pool (per-partition covers and \
                  PSG join work; the cover is identical for any value).")
   in
+  let no_fsync =
+    Arg.(value & flag & info [ "no-fsync" ]
+           ~doc:"Skip sync points when persisting with $(b,--store): faster, \
+                 still process-crash-safe (journaled), but a power loss may \
+                 lose the save.")
+  in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log progress.") in
   Cmd.v (Cmd.info "build" ~doc:"Build the HOPI index and print statistics")
     Term.(const build $ dir_arg $ partitioner_arg $ joiner_arg $ limit_arg
-          $ jobs $ verbose $ store $ metrics_arg)
+          $ jobs $ verbose $ store $ no_fsync $ metrics_arg)
 
 let query_cmd =
   let expr = Arg.(required & pos 1 (some string) None & info [] ~docv:"EXPR") in
@@ -241,9 +280,21 @@ let inspect_cmd =
   Cmd.v (Cmd.info "inspect" ~doc:"Print statistics of a stored index file")
     Term.(const inspect $ file)
 
+let verify_store_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log journal recovery.")
+  in
+  Cmd.v
+    (Cmd.info "verify-store"
+       ~doc:"Checksum-verify every page of a stored index (recovering a hot \
+             journal first); exits 1 on any corruption")
+    Term.(const verify_store $ file $ verbose)
+
 let () =
   let doc = "HOPI: a 2-hop-cover connection index for linked XML collections" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "hopi" ~doc)
-          [ gen_cmd; build_cmd; query_cmd; check_cmd; inspect_cmd; metrics_cmd ]))
+          [ gen_cmd; build_cmd; query_cmd; check_cmd; inspect_cmd; verify_store_cmd;
+            metrics_cmd ]))

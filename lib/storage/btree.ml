@@ -4,13 +4,16 @@ let min_i32 = Int32.to_int Int32.min_int
 
 let max_i32 = Int32.to_int Int32.max_int
 
-(* Page layouts (see .mli):
-   leaf:     [0]=0 [2..3]=nkeys [4..7]=next_leaf(i32, -1 none); entries of
-             12 bytes (3 x i32) from offset 8; capacity 340
-   internal: [0]=1 [2..3]=nkeys [4..7]=child0(i32); slots of 16 bytes
-             (key 12 + right child 4) from offset 8; capacity 255 *)
+(* Page layouts, all offsets relative to [Page.payload_off] (the pager's
+   checksum header occupies the bytes below it; see .mli):
+   leaf:     [+0]=0 [+2..3]=nkeys [+4..7]=next_leaf(i32, -1 none); entries
+             of 12 bytes (3 x i32) from offset +8; capacity 339
+   internal: [+0]=1 [+2..3]=nkeys [+4..7]=child0(i32); slots of 16 bytes
+             (key 12 + right child 4) from offset +8; capacity 254 *)
 
-let leaf_header = 8
+let po = Page.payload_off
+
+let leaf_header = po + 8
 
 let leaf_entry = 12
 
@@ -18,7 +21,7 @@ let leaf_entry = 12
    instant between insertion and split *)
 let leaf_capacity = ((Page.size - leaf_header) / leaf_entry) - 1
 
-let int_header = 8
+let int_header = po + 8
 
 let int_slot = 16
 
@@ -26,15 +29,15 @@ let int_capacity = ((Page.size - int_header) / int_slot) - 1
 
 type t = { pager : Pager.t; mutable root : int; mutable length : int }
 
-let is_leaf page = Page.get_u8 page 0 = 0
+let is_leaf page = Page.get_u8 page po = 0
 
-let nkeys page = Page.get_u16 page 2
+let nkeys page = Page.get_u16 page (po + 2)
 
-let set_nkeys page n = Page.set_u16 page 2 n
+let set_nkeys page n = Page.set_u16 page (po + 2) n
 
-let next_leaf page = Page.get_i32 page 4
+let next_leaf page = Page.get_i32 page (po + 4)
 
-let set_next_leaf page v = Page.set_i32 page 4 v
+let set_next_leaf page v = Page.set_i32 page (po + 4) v
 
 let leaf_key page i =
   let off = leaf_header + (i * leaf_entry) in
@@ -47,11 +50,11 @@ let set_leaf_key page i (a, b, c) =
   Page.set_i32 page (off + 8) c
 
 let int_child page i =
-  if i = 0 then Page.get_i32 page 4
+  if i = 0 then Page.get_i32 page (po + 4)
   else Page.get_i32 page (int_header + ((i - 1) * int_slot) + 12)
 
 let set_int_child page i v =
-  if i = 0 then Page.set_i32 page 4 v
+  if i = 0 then Page.set_i32 page (po + 4) v
   else Page.set_i32 page (int_header + ((i - 1) * int_slot) + 12) v
 
 let int_key page i =
@@ -74,7 +77,7 @@ let key_compare (a1, b1, c1) (a2, b2, c2) =
 let create pager =
   let root = Pager.alloc pager in
   let page = Pager.read pager root in
-  Page.set_u8 page 0 0;
+  Page.set_u8 page po 0;
   set_nkeys page 0;
   set_next_leaf page (-1);
   Pager.mark_dirty pager root;
@@ -141,7 +144,7 @@ let leaf_insert t pid k =
       let page = Pager.pin t.pager pid in
       let rid = Pager.alloc t.pager in
       let right = Pager.pin t.pager rid in
-      Page.set_u8 right 0 0;
+      Page.set_u8 right po 0;
       set_nkeys right right_n;
       set_next_leaf right (next_leaf page);
       for j = 0 to right_n - 1 do
@@ -179,7 +182,7 @@ let internal_insert_slot t pid sep rid =
     let up = int_key page mid in
     let new_id = Pager.alloc t.pager in
     let right = Pager.pin t.pager new_id in
-    Page.set_u8 right 0 1;
+    Page.set_u8 right po 1;
     let right_n = total - mid - 1 in
     set_nkeys right right_n;
     set_int_child right 0 (int_child page (mid + 1));
@@ -220,7 +223,7 @@ let insert t k =
    | Split (sep, rid) ->
      let new_root = Pager.alloc t.pager in
      let page = Pager.read t.pager new_root in
-     Page.set_u8 page 0 1;
+     Page.set_u8 page po 1;
      set_nkeys page 1;
      set_int_child page 0 t.root;
      set_int_key page 0 sep;

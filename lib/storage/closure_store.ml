@@ -1,8 +1,30 @@
 module Ihs = Hopi_util.Int_hashset
 
-type t = { table : Table.t }
+type t = { pgr : Pager.t; table : Table.t }
 
-let create pgr = { table = Table.create pgr }
+let create pgr =
+  (* page 0 is the catalog *)
+  let catalog_page = Pager.alloc pgr in
+  assert (catalog_page = 0);
+  { pgr; table = Table.create pgr }
+
+let save t =
+  let entry tree = { Catalog.root = Btree.root tree; length = Btree.length tree } in
+  let fwd, bwd = Table.trees t.table in
+  Catalog.write t.pgr
+    { Catalog.kind = Catalog.Closure; with_dist = false; trees = [| entry fwd; entry bwd |] };
+  Pager.commit t.pgr
+
+let open_pager pgr =
+  let cat = Catalog.read pgr in
+  Catalog.expect Catalog.Closure cat;
+  let tree i =
+    let e = cat.Catalog.trees.(i) in
+    Btree.of_root pgr ~root:e.Catalog.root ~length:e.Catalog.length
+  in
+  { pgr; table = Table.of_trees ~fwd:(tree 0) ~bwd:(tree 1) }
+
+let pager t = t.pgr
 
 let load t clo =
   Hopi_graph.Closure.iter_pairs clo (fun u v ->

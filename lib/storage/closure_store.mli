@@ -9,6 +9,17 @@
 type t
 
 val create : Pager.t -> t
+(** The pager must be fresh: page 0 is reserved for the {!Catalog}. *)
+
+val pager : t -> Pager.t
+
+val save : t -> unit
+(** Write the catalog and {!Pager.commit} (atomic, like
+    {!Cover_store.save}). *)
+
+val open_pager : Pager.t -> t
+(** Re-attach to a store saved earlier.
+    @raise Storage_error.Storage_error on a bad catalog. *)
 
 val load : t -> Hopi_graph.Closure.t -> unit
 

@@ -25,14 +25,16 @@ let save t =
   let lout_fwd, lout_bwd = Table.trees t.lout in
   Catalog.write t.pgr
     {
-      Catalog.with_dist = t.with_dist;
+      Catalog.kind = Catalog.Cover;
+      with_dist = t.with_dist;
       trees = [| entry lin_fwd; entry lin_bwd; entry lout_fwd; entry lout_bwd;
                  entry t.nodes |];
     };
-  Pager.flush t.pgr
+  Pager.commit t.pgr
 
 let open_pager pgr =
   let cat = Catalog.read pgr in
+  Catalog.expect Catalog.Cover cat;
   let tree i =
     let e = cat.Catalog.trees.(i) in
     Btree.of_root pgr ~root:e.Catalog.root ~length:e.Catalog.length

@@ -19,15 +19,17 @@ val create : Pager.t -> t
 val pager : t -> Pager.t
 
 val save : t -> unit
-(** Write the catalog and flush all dirty pages; after [save] the page file
-    can be reopened with {!open_pager}. *)
+(** Write the catalog and {!Pager.commit}: the save is atomic — a crash at
+    any point leaves a file that reopens to either the previous committed
+    state or this one.  After [save] the page file can be reopened with
+    {!open_pager}. *)
 
 val open_pager : Pager.t -> t
 (** Re-attach to a store saved earlier (e.g. a pager from
     {!Pager.open_existing}).  The pager's free-page list is not persisted,
     so pages freed before the save are not reused after reopening (they are
-    reclaimed by the next offline rebuild).  @raise Failure on a bad
-    catalog. *)
+    reclaimed by the next offline rebuild).
+    @raise Storage_error.Storage_error on a bad catalog. *)
 
 (** {1 Loading} *)
 

@@ -1,0 +1,88 @@
+module Crc32 = Hopi_util.Crc32
+
+let magic = 0x484A524E (* "HJRN" *)
+
+let version = 1
+
+(* header: [0..3] magic, [4..7] version, [8..11] committed page count,
+   [12..15] CRC-32 of bytes [0..11] *)
+let header_size = 16
+
+(* record: [0..3] page id, [4..7] CRC-32 of id+image, [8..] page image *)
+let record_size = 8 + Page.size
+
+let create file ~n_pages =
+  let h = Bytes.make header_size '\000' in
+  Bytes.set_int32_le h 0 (Int32.of_int magic);
+  Bytes.set_int32_le h 4 (Int32.of_int version);
+  Bytes.set_int32_le h 8 (Int32.of_int n_pages);
+  Bytes.set_int32_le h 12 (Crc32.digest h ~pos:0 ~len:12);
+  file.Vfs.write h ~off:0 ~pos:0 ~len:header_size
+
+let record_crc buf =
+  (* skip the CRC field itself (bytes 4..7) *)
+  Crc32.finish
+    (Crc32.update (Crc32.update Crc32.init buf ~pos:0 ~len:4) buf ~pos:8
+       ~len:Page.size)
+
+let append file ~off ~page_id page =
+  let r = Bytes.create record_size in
+  Bytes.set_int32_le r 0 (Int32.of_int page_id);
+  Bytes.blit page 0 r 8 Page.size;
+  Bytes.set_int32_le r 4 (record_crc r);
+  file.Vfs.write r ~off ~pos:0 ~len:record_size
+
+(* {1 Recovery} *)
+
+let read_header file =
+  let h = Bytes.make header_size '\000' in
+  if Vfs.read_full file h ~off:0 ~pos:0 ~len:header_size < header_size then None
+  else if Bytes.get_int32_le h 12 <> Crc32.digest h ~pos:0 ~len:12 then None
+  else if Int32.to_int (Bytes.get_int32_le h 0) <> magic then None
+  else if Int32.to_int (Bytes.get_int32_le h 4) <> version then None
+  else Some (Int32.to_int (Bytes.get_int32_le h 8))
+
+let rollback ~vfs ~path ~journal_path ~fsync =
+  if not (vfs.Vfs.exists journal_path) then `No_journal
+  else begin
+    let j = vfs.Vfs.open_file journal_path ~create:false in
+    let result =
+      match read_header j with
+      | None ->
+        (* the header never became durable, so no page of the main file was
+           ever overwritten: the journal is garbage from a crash during its
+           own creation *)
+        `Discarded
+      | Some n_pages when not (vfs.Vfs.exists path) ->
+        (* a journal for a store that never materialised *)
+        ignore n_pages;
+        `Discarded
+      | Some n_pages ->
+        let main = vfs.Vfs.open_file path ~create:false in
+        let r = Bytes.create record_size in
+        let restored = ref 0 in
+        let off = ref header_size in
+        let continue_ = ref true in
+        while !continue_ do
+          if Vfs.read_full j r ~off:!off ~pos:0 ~len:record_size < record_size then
+            continue_ := false (* torn tail: its page was never overwritten *)
+          else begin
+            let id = Int32.to_int (Bytes.get_int32_le r 0) in
+            if Bytes.get_int32_le r 4 <> record_crc r || id < 0 || id >= n_pages
+            then continue_ := false
+            else begin
+              main.Vfs.write r ~off:(id * Page.size) ~pos:8 ~len:Page.size;
+              incr restored;
+              off := !off + record_size
+            end
+          end
+        done;
+        main.Vfs.truncate (n_pages * Page.size);
+        if fsync then main.Vfs.sync ();
+        main.Vfs.close ();
+        `Rolled_back !restored
+    in
+    j.Vfs.close ();
+    vfs.Vfs.remove journal_path;
+    result
+  end

@@ -1,0 +1,42 @@
+(** The rollback journal behind atomic saves.
+
+    Before the pager overwrites a page that belongs to the last committed
+    state — or writes anything at all within a transaction — it records
+    the page's *original* on-disk image here and fsyncs, so that a crash
+    at any later point can be rolled back to the committed state.  The
+    commit point is the journal's removal (exactly SQLite's rollback-
+    journal discipline); {!rollback} is run on every open and restores the
+    pre-transaction state from a left-over ("hot") journal.
+
+    On-disk format: a 16-byte header (magic, version, committed page
+    count, header CRC) followed by fixed-size records of
+    [page id ∥ CRC ∥ page image].  Each record carries its own CRC-32 over
+    id and image, so replay stops at the first torn or corrupt record —
+    which is always safe, because a record is made durable before the
+    page it protects is ever overwritten. *)
+
+val magic : int
+
+val version : int
+
+val header_size : int
+
+val record_size : int
+
+val create : Vfs.file -> n_pages:int -> unit
+(** Write the header for a transaction that starts with [n_pages]
+    committed pages (rollback truncates the store back to that size).
+    Does not sync; the pager syncs before its first main-file write. *)
+
+val append : Vfs.file -> off:int -> page_id:int -> Page.t -> unit
+(** Append one original-page record at journal offset [off] (which must be
+    [header_size + k * record_size]).  Does not sync. *)
+
+val rollback :
+  vfs:Vfs.t -> path:string -> journal_path:string -> fsync:bool ->
+  [ `No_journal | `Rolled_back of int | `Discarded ]
+(** Recover [path] from a hot journal, if one exists.  [`Rolled_back n]
+    restored [n] pages and truncated the store to its committed size;
+    [`Discarded] means the journal's header never became durable (so the
+    store was never touched) and it was simply deleted.  The journal is
+    removed in every non-[`No_journal] case. *)

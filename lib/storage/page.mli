@@ -2,10 +2,23 @@
 
     The storage engine replays the paper's database-backed design (Oracle
     index-organized tables, Section 3.4) with its own page/B+-tree stack;
-    this module is the byte-level layer. *)
+    this module is the byte-level layer.
+
+    The first {!header_bytes} bytes of every page belong to the pager, not
+    to the page's user: bytes [0..3] hold a CRC-32 of the payload (stamped
+    at write-back, verified on every cache miss), byte [4] is an
+    initialization flag (0 = never written, 1 = checksummed), bytes [5..7]
+    are reserved.  Structures built on pages (B+-tree nodes, the catalog)
+    lay out their content from {!payload_off} up. *)
 
 val size : int
 (** Page size in bytes (4096). *)
+
+val header_bytes : int
+(** Bytes reserved at the front of every page for the checksum header (8). *)
+
+val payload_off : int
+(** First byte offset usable by page content (= {!header_bytes}). *)
 
 type t = Bytes.t
 
@@ -24,3 +37,15 @@ val get_i32 : t -> int -> int
 
 val set_i32 : t -> int -> int -> unit
 (** @raise Invalid_argument when the value exceeds 32-bit range. *)
+
+(** {1 Checksum header} *)
+
+val stamp : t -> unit
+(** Recompute the payload CRC into the header and set the written flag;
+    called by the pager immediately before every write-back. *)
+
+val verify : t -> [ `Ok | `Fresh | `Corrupt ]
+(** [`Ok]: written flag set and CRC matches.  [`Fresh]: the whole page is
+    zero (a never-written page read back as a hole).  [`Corrupt]:
+    anything else — a flipped payload byte, a flipped CRC byte, a flipped
+    flag, or a torn write. *)

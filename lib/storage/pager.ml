@@ -32,6 +32,26 @@ let m_pages_allocated =
   Registry.counter "hopi_storage_pages_allocated_total"
     ~help:"Pages allocated (including recycled free-list pages)"
 
+let m_checksum_failures =
+  Registry.counter "hopi_storage_checksum_failures_total"
+    ~help:"Pages rejected because their CRC-32 header failed verification"
+
+let m_journal_replays =
+  Registry.counter "hopi_storage_journal_replays_total"
+    ~help:"Hot rollback journals replayed on open (crash recoveries)"
+
+let m_journal_pages =
+  Registry.counter "hopi_storage_journal_pages_total"
+    ~help:"Original page images written to rollback journals"
+
+let m_fsyncs =
+  Registry.counter "hopi_storage_fsyncs_total"
+    ~help:"Sync points issued (journal, store and recovery fsyncs)"
+
+let m_commits =
+  Registry.counter "hopi_storage_commits_total"
+    ~help:"Atomic commits (checkpointed saves)"
+
 type backend = Memory | File of string
 
 type slot = {
@@ -44,9 +64,15 @@ type slot = {
 type t = {
   pool_pages : int;
   cache : (int, slot) Hashtbl.t;
-  (* Memory backend stores evicted pages here; File backend writes them to fd *)
-  store : (int, Page.t) Hashtbl.t;
-  fd : Unix.file_descr option;
+  vfs : Vfs.t;
+  file : Vfs.file;
+  journal_path : string;
+  do_fsync : bool;
+  mutable journal : Vfs.file option;
+  mutable journal_off : int;
+  mutable journal_unsynced : bool;
+  journaled : (int, unit) Hashtbl.t;  (* page ids already journaled this txn *)
+  mutable committed_pages : int;  (* store size at the last commit *)
   mutable next_page : int;
   mutable free_list : int list;
   mutable clock : int;
@@ -55,21 +81,26 @@ type t = {
   mutable evictions : int;
   mutable disk_reads : int;
   mutable disk_writes : int;
+  mutable fsyncs : int;
+  mutable journaled_pages : int;
 }
 
-let create ?(pool_pages = 256) backend =
-  let fd =
-    match backend with
-    | Memory -> None
-    | File path ->
-      Some (Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o600)
-  in
+let journal_path_of path = path ^ "-journal"
+
+let mk ~pool_pages ~fsync ~vfs ~file ~path ~next_page =
   {
     pool_pages = max pool_pages 8;
     cache = Hashtbl.create 64;
-    store = Hashtbl.create 64;
-    fd;
-    next_page = 0;
+    vfs;
+    file;
+    journal_path = journal_path_of path;
+    do_fsync = fsync;
+    journal = None;
+    journal_off = 0;
+    journal_unsynced = false;
+    journaled = Hashtbl.create 16;
+    committed_pages = next_page;
+    next_page;
     free_list = [];
     clock = 0;
     cache_hits = 0;
@@ -77,60 +108,116 @@ let create ?(pool_pages = 256) backend =
     evictions = 0;
     disk_reads = 0;
     disk_writes = 0;
+    fsyncs = 0;
+    journaled_pages = 0;
   }
 
-let open_existing ?(pool_pages = 256) path =
-  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o600 in
-  let size = (Unix.fstat fd).Unix.st_size in
-  {
-    pool_pages = max pool_pages 8;
-    cache = Hashtbl.create 64;
-    store = Hashtbl.create 64;
-    fd = Some fd;
-    next_page = (size + Page.size - 1) / Page.size;
-    free_list = [];
-    clock = 0;
-    cache_hits = 0;
-    cache_misses = 0;
-    evictions = 0;
-    disk_reads = 0;
-    disk_writes = 0;
-  }
+let create_vfs ?(pool_pages = 256) ?(fsync = true) ~vfs path =
+  (* a stale journal belongs to the store being truncated away — it must
+     never be replayed over the new one *)
+  if vfs.Vfs.exists (journal_path_of path) then vfs.Vfs.remove (journal_path_of path);
+  let file = vfs.Vfs.open_file path ~create:true in
+  mk ~pool_pages ~fsync ~vfs ~file ~path ~next_page:0
+
+let create ?pool_pages ?fsync backend =
+  match backend with
+  | Memory -> create_vfs ?pool_pages ?fsync ~vfs:(Vfs.memory ()) "mem.db"
+  | File path -> create_vfs ?pool_pages ?fsync ~vfs:Vfs.real path
+
+let open_vfs ?(pool_pages = 256) ?(fsync = true) ~vfs path =
+  (match
+     Journal.rollback ~vfs ~path ~journal_path:(journal_path_of path) ~fsync
+   with
+  | `No_journal -> ()
+  | `Discarded ->
+    Log.info (fun m -> m "%s: discarded an empty hot journal" path)
+  | `Rolled_back n ->
+    Counter.incr m_journal_replays;
+    if fsync then Counter.incr m_fsyncs;
+    Log.info (fun m -> m "%s: rolled back %d page(s) from a hot journal" path n));
+  let file = vfs.Vfs.open_file path ~create:false in
+  let size = file.Vfs.size () in
+  if size mod Page.size <> 0 then begin
+    file.Vfs.close ();
+    Storage_error.raise_error
+      (Truncated (Printf.sprintf "%s: %d bytes is not a whole number of pages" path size))
+  end;
+  mk ~pool_pages ~fsync ~vfs ~file ~path ~next_page:(size / Page.size)
+
+let open_existing ?pool_pages ?fsync path = open_vfs ?pool_pages ?fsync ~vfs:Vfs.real path
 
 let tick t =
   t.clock <- t.clock + 1;
   t.clock
 
-let write_back t id page =
+(* {1 Journal discipline}
+
+   Invariant: before any write reaches the main file, a journal with a
+   durable header exists (so recovery can truncate newly appended pages),
+   and the original image of any committed page being overwritten is a
+   durable journal record. *)
+
+let sync_journal t j =
+  if t.journal_unsynced then begin
+    if t.do_fsync then begin
+      j.Vfs.sync ();
+      t.fsyncs <- t.fsyncs + 1;
+      Counter.incr m_fsyncs
+    end;
+    t.journal_unsynced <- false
+  end
+
+let ensure_journal t =
+  match t.journal with
+  | Some j -> j
+  | None ->
+    let j = t.vfs.Vfs.open_file t.journal_path ~create:true in
+    Journal.create j ~n_pages:t.committed_pages;
+    t.journal_off <- Journal.header_size;
+    t.journal_unsynced <- true;
+    t.journal <- Some j;
+    j
+
+let journal_page t id =
+  if id < t.committed_pages && not (Hashtbl.mem t.journaled id) then begin
+    let j = ensure_journal t in
+    (* the on-disk image is still the committed original, because pages are
+       journaled before their first overwrite *)
+    let orig = Page.create () in
+    ignore (Vfs.read_full t.file orig ~off:(id * Page.size) ~pos:0 ~len:Page.size);
+    Journal.append j ~off:t.journal_off ~page_id:id orig;
+    t.journal_off <- t.journal_off + Journal.record_size;
+    t.journal_unsynced <- true;
+    t.journaled_pages <- t.journaled_pages + 1;
+    Counter.incr m_journal_pages;
+    Hashtbl.replace t.journaled id ()
+  end
+
+(* Write one page to the main file, checksum stamped.  Assumes the journal
+   discipline for [id] has already been honoured. *)
+let write_main t id page =
   t.disk_writes <- t.disk_writes + 1;
   Counter.incr m_page_writes;
-  match t.fd with
-  | None -> Hashtbl.replace t.store id (Bytes.copy page)
-  | Some fd ->
-    ignore (Unix.lseek fd (id * Page.size) Unix.SEEK_SET);
-    let n = Unix.write fd page 0 Page.size in
-    assert (n = Page.size)
+  Page.stamp page;
+  t.file.Vfs.write page ~off:(id * Page.size) ~pos:0 ~len:Page.size
+
+let write_back t id page =
+  journal_page t id;
+  let j = ensure_journal t in
+  sync_journal t j;
+  write_main t id page
 
 let read_from_store t id =
   t.disk_reads <- t.disk_reads + 1;
   Counter.incr m_page_reads;
-  match t.fd with
-  | None -> (
-    match Hashtbl.find_opt t.store id with
-    | Some p -> Bytes.copy p
-    | None -> Page.create ())
-  | Some fd ->
-    let page = Page.create () in
-    ignore (Unix.lseek fd (id * Page.size) Unix.SEEK_SET);
-    let rec fill off =
-      if off < Page.size then begin
-        let n = Unix.read fd page off (Page.size - off) in
-        if n = 0 then () (* sparse page never written: zeros *)
-        else fill (off + n)
-      end
-    in
-    fill 0;
-    page
+  let page = Page.create () in
+  ignore (Vfs.read_full t.file page ~off:(id * Page.size) ~pos:0 ~len:Page.size);
+  (match Page.verify page with
+  | `Ok | `Fresh -> ()
+  | `Corrupt ->
+    Counter.incr m_checksum_failures;
+    Storage_error.raise_error (Checksum { page = id }));
+  page
 
 let evict_one t =
   (* LRU by stamp, skipping pinned slots; if everything is pinned the pool
@@ -218,14 +305,66 @@ let mark_dirty t id =
   | Some slot -> slot.dirty <- true
   | None -> invalid_arg "Pager.mark_dirty: page not resident"
 
+let dirty_slots t =
+  Hashtbl.fold (fun id slot acc -> if slot.dirty then (id, slot) :: acc else acc)
+    t.cache []
+
 let flush t =
-  Hashtbl.iter
-    (fun id slot ->
-      if slot.dirty then begin
-        write_back t id slot.page;
-        slot.dirty <- false
-      end)
-    t.cache
+  List.iter
+    (fun (id, slot) ->
+      write_back t id slot.page;
+      slot.dirty <- false)
+    (dirty_slots t)
+
+let sync_main t =
+  if t.do_fsync then begin
+    t.file.Vfs.sync ();
+    t.fsyncs <- t.fsyncs + 1;
+    Counter.incr m_fsyncs
+  end
+
+let commit t =
+  let dirty = dirty_slots t in
+  if dirty <> [] || t.journal <> None then begin
+    (* 1. journal the originals of every committed page about to change,
+       then make the whole journal durable with one sync *)
+    List.iter (fun (id, _) -> journal_page t id) dirty;
+    if dirty <> [] then begin
+      let j = ensure_journal t in
+      sync_journal t j
+    end;
+    (* 2. write the new state *)
+    List.iter
+      (fun (id, slot) ->
+        write_main t id slot.page;
+        slot.dirty <- false)
+      dirty;
+    (* 3. make it durable *)
+    sync_main t;
+    (* 4. commit point: drop the journal *)
+    (match t.journal with
+    | Some j ->
+      j.Vfs.close ();
+      t.journal <- None
+    | None -> ());
+    if t.vfs.Vfs.exists t.journal_path then t.vfs.Vfs.remove t.journal_path;
+    Hashtbl.reset t.journaled;
+    t.journal_unsynced <- false;
+    t.committed_pages <- t.next_page;
+    Counter.incr m_commits
+  end
+
+let verify_pages t =
+  let bad = ref [] in
+  let page = Page.create () in
+  for id = t.next_page - 1 downto 0 do
+    Bytes.fill page 0 Page.size '\000';
+    ignore (Vfs.read_full t.file page ~off:(id * Page.size) ~pos:0 ~len:Page.size);
+    match Page.verify page with
+    | `Ok | `Fresh -> ()
+    | `Corrupt -> bad := id :: !bad
+  done;
+  !bad
 
 type stats = {
   pages : int;
@@ -235,6 +374,8 @@ type stats = {
   evictions : int;
   disk_reads : int;
   disk_writes : int;
+  fsyncs : int;
+  journaled_pages : int;
 }
 
 let stats t =
@@ -246,15 +387,15 @@ let stats t =
     evictions = t.evictions;
     disk_reads = t.disk_reads;
     disk_writes = t.disk_writes;
+    fsyncs = t.fsyncs;
+    journaled_pages = t.journaled_pages;
   }
 
 let close t =
-  flush t;
+  commit t;
   Log.info (fun m ->
-      m "pager closed: %d pages, %d hits / %d misses, %d evictions" t.next_page
-        t.cache_hits t.cache_misses t.evictions);
-  match t.fd with
-  | Some fd -> Unix.close fd
-  | None -> ()
+      m "pager closed: %d pages, %d hits / %d misses, %d evictions, %d fsyncs"
+        t.next_page t.cache_hits t.cache_misses t.evictions t.fsyncs);
+  t.file.Vfs.close ()
 
 let size_bytes t = t.next_page * Page.size

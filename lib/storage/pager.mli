@@ -1,13 +1,27 @@
-(** Page manager with a bounded buffer pool.
+(** Page manager with a bounded buffer pool and crash-safe storage.
 
-    Pages live either fully in memory or in a backing file, with an
-    LRU-evicted write-back cache in front — enough machinery to make the
-    index behave like the database-resident structure of the paper and to
-    account for page I/O in benchmarks. *)
+    Pages live in a {!Vfs} file (a real file, or a private in-memory file
+    system for the [Memory] backend) with an LRU-evicted write-back cache
+    in front.  Durability discipline (see DESIGN.md, Storage durability):
+
+    - every page carries a CRC-32 header ({!Page.stamp}) written at
+      write-back and verified on every cache miss — a flipped byte
+      anywhere in a persisted page raises [Storage_error (Checksum _)];
+    - all writes between two {!commit}s form a transaction protected by a
+      rollback {!Journal}: the original image of any committed page is
+      journaled and fsynced before the page is first overwritten, so a
+      crash at *any* point rolls back to the last committed state;
+    - {!commit} is the atomic save: journal, write back, fsync the store,
+      then delete the journal (the commit point);
+    - opening a store ({!open_existing} / {!open_vfs}) first recovers from
+      a hot journal left by a crash.
+
+    [fsync:false] trades power-loss durability for speed: the journal is
+    still written (process crashes still recover) but nothing is synced. *)
 
 type backend =
-  | Memory  (** all pages stay in the process (still bounded-cache-accounted) *)
-  | File of string  (** pages are spilled to this file *)
+  | Memory  (** pages live in a private in-memory file system *)
+  | File of string  (** pages are stored in this file (created/truncated) *)
 
 type t
 
@@ -19,15 +33,29 @@ type stats = {
   evictions : int;
   disk_reads : int;
   disk_writes : int;
+  fsyncs : int;  (** sync points issued (0 when [fsync:false]) *)
+  journaled_pages : int;  (** original images saved to the rollback journal *)
 }
 
-val create : ?pool_pages:int -> backend -> t
-(** [pool_pages] (default 256) bounds the buffer pool.  A [File] backend is
-    truncated; use {!open_existing} to reopen a page file. *)
+val create : ?pool_pages:int -> ?fsync:bool -> backend -> t
+(** [pool_pages] (default 256) bounds the buffer pool; [fsync] (default
+    [true]) controls whether sync points hit the disk.  A [File] backend
+    is created or truncated (any stale journal is deleted); use
+    {!open_existing} to reopen a page file. *)
 
-val open_existing : ?pool_pages:int -> string -> t
-(** Open a page file written earlier; the page count is derived from the
-    file size.  @raise Sys_error on missing files. *)
+val create_vfs : ?pool_pages:int -> ?fsync:bool -> vfs:Vfs.t -> string -> t
+(** Like [create (File path)] but on an explicit {!Vfs} (used by the
+    fault-injection tests). *)
+
+val open_existing : ?pool_pages:int -> ?fsync:bool -> string -> t
+(** Open a page file written earlier, rolling back a hot journal first if
+    the last session crashed mid-transaction.
+    @raise Storage_error.Storage_error — [File_not_found] on missing
+    files, [Truncated] on a file that is not a whole number of pages,
+    [Journal_corrupt]/[Io] on unrecoverable journals. *)
+
+val open_vfs : ?pool_pages:int -> ?fsync:bool -> vfs:Vfs.t -> string -> t
+(** Like {!open_existing} on an explicit {!Vfs}. *)
 
 val alloc : t -> int
 (** Allocate a zeroed page (reusing freed pages first); returns its id. *)
@@ -39,9 +67,12 @@ val n_pages : t -> int
 
 val read : t -> int -> Page.t
 (** Fetch a page (through the cache).  The caller may mutate the returned
-    bytes but must call {!mark_dirty} afterwards, and must not touch the
+    bytes from {!Page.payload_off} up (the header below it belongs to the
+    pager) but must call {!mark_dirty} afterwards, and must not touch the
     pager (alloc/read of other pages) between mutation and {!mark_dirty} —
-    use {!pin} when holding a page across other pager calls. *)
+    use {!pin} when holding a page across other pager calls.
+    @raise Storage_error.Storage_error [(Checksum _)] when the on-disk
+    image fails verification. *)
 
 val pin : t -> int -> Page.t
 (** Like {!read}, but the page cannot be evicted until {!unpin}.  Pins
@@ -52,12 +83,26 @@ val unpin : t -> int -> unit
 val mark_dirty : t -> int -> unit
 
 val flush : t -> unit
-(** Write back all dirty pages. *)
+(** Write back all dirty pages (under the journal discipline).  This is
+    *not* a commit point: a crash after [flush] still rolls back to the
+    last {!commit}. *)
+
+val commit : t -> unit
+(** Atomically make the current state the new committed state: journal the
+    originals of every dirty committed page, fsync the journal, write all
+    dirty pages back, fsync the store, then delete the journal.  A crash
+    anywhere inside [commit] recovers to either the previous or the new
+    committed state, never a mixture. *)
+
+val verify_pages : t -> int list
+(** Checksum-verify every page image directly from the backing file
+    (bypassing the cache); returns the ids of corrupt pages.  Used by
+    [hopi verify-store]. *)
 
 val stats : t -> stats
 
 val close : t -> unit
-(** Flush and release the backing file (if any). *)
+(** {!commit} and release the backing file. *)
 
 val size_bytes : t -> int
 (** Total size of the page store. *)

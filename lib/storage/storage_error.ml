@@ -1,0 +1,30 @@
+type t =
+  | File_not_found of string
+  | Io of string
+  | Truncated of string
+  | Bad_magic of { got : int; expected : int }
+  | Bad_version of { got : int; expected : int }
+  | Bad_catalog of string
+  | Checksum of { page : int }
+  | Journal_corrupt of string
+
+exception Storage_error of t
+
+let raise_error e = raise (Storage_error e)
+
+let to_string = function
+  | File_not_found p -> Printf.sprintf "file not found: %s" p
+  | Io msg -> Printf.sprintf "I/O error: %s" msg
+  | Truncated what -> Printf.sprintf "truncated: %s" what
+  | Bad_magic { got; expected } ->
+    Printf.sprintf "bad magic number 0x%08x (expected 0x%08x)" got expected
+  | Bad_version { got; expected } ->
+    Printf.sprintf "unsupported format version %d (expected %d)" got expected
+  | Bad_catalog msg -> Printf.sprintf "bad catalog: %s" msg
+  | Checksum { page } -> Printf.sprintf "checksum mismatch on page %d" page
+  | Journal_corrupt msg -> Printf.sprintf "corrupt journal: %s" msg
+
+let () =
+  Printexc.register_printer (function
+    | Storage_error e -> Some ("Storage_error: " ^ to_string e)
+    | _ -> None)

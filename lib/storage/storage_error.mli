@@ -1,0 +1,21 @@
+(** Typed failures of the storage engine.
+
+    Every error path of the pager, journal, catalog and stores raises
+    {!Storage_error}; corruption is always *rejected* with one of these —
+    never silently returned as data (see DESIGN.md, Storage durability). *)
+
+type t =
+  | File_not_found of string
+  | Io of string  (** underlying I/O failure (wrapped [Unix] error or injected fault) *)
+  | Truncated of string  (** file shorter than the structure it must hold *)
+  | Bad_magic of { got : int; expected : int }
+  | Bad_version of { got : int; expected : int }
+  | Bad_catalog of string  (** catalog page is well-formed but inconsistent *)
+  | Checksum of { page : int }  (** page failed CRC/flag verification *)
+  | Journal_corrupt of string
+
+exception Storage_error of t
+
+val raise_error : t -> 'a
+
+val to_string : t -> string

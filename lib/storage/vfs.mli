@@ -1,0 +1,45 @@
+(** Virtual file system under the {!Pager}.
+
+    Everything the storage engine does to stable storage goes through one
+    of these records of operations, so tests can substitute a
+    fault-injecting implementation (torn writes, dropped un-fsynced data,
+    crash-at-every-step — see [test/fault_vfs.ml]) without touching the
+    engine.  Two implementations ship here: {!real} over [Unix] file
+    descriptors, and {!memory}, a private in-process file system used by
+    the [Memory] pager backend (and as the substrate of crash tests).
+
+    All operations raise {!Storage_error.Storage_error} on failure. *)
+
+type file = {
+  read : Bytes.t -> off:int -> pos:int -> len:int -> int;
+      (** [read buf ~off ~pos ~len] reads up to [len] bytes from file
+          offset [off] into [buf] at [pos]; returns the number of bytes
+          read, [0] at end-of-file.  May return short counts — use
+          {!read_full} to loop. *)
+  write : Bytes.t -> off:int -> pos:int -> len:int -> unit;
+      (** Write exactly [len] bytes from [buf.[pos]] at file offset [off],
+          extending the file if needed. *)
+  sync : unit -> unit;  (** Make all written data durable (fsync). *)
+  truncate : int -> unit;
+  size : unit -> int;
+  close : unit -> unit;
+}
+
+type t = {
+  open_file : string -> create:bool -> file;
+      (** [create:true] creates-or-truncates; [create:false] raises
+          [File_not_found] when the path does not exist. *)
+  exists : string -> bool;
+  remove : string -> unit;
+}
+
+val real : t
+(** The operating system's file system. *)
+
+val memory : unit -> t
+(** A fresh private in-memory file system; files persist across
+    [open_file]/[close] for the lifetime of this value. *)
+
+val read_full : file -> Bytes.t -> off:int -> pos:int -> len:int -> int
+(** Loop {!field-file.read} until [len] bytes or end-of-file; returns the
+    number of bytes actually read. *)

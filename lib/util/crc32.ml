@@ -1,0 +1,32 @@
+(* Table-driven CRC-32 with the reflected IEEE polynomial, the same
+   checksum the zip/png family uses.  The running state is kept
+   pre-inverted, so [update] composes and [finish] applies the final
+   complement. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let init = 0xFFFFFFFFl
+
+let update state buf ~pos ~len =
+  let table = Lazy.force table in
+  let c = ref state in
+  for i = pos to pos + len - 1 do
+    let byte = Char.code (Bytes.unsafe_get buf i) in
+    let idx = Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int byte)) 0xFFl) in
+    c := Int32.logxor (Array.unsafe_get table idx) (Int32.shift_right_logical !c 8)
+  done;
+  !c
+
+let finish state = Int32.logxor state 0xFFFFFFFFl
+
+let digest buf ~pos ~len = finish (update init buf ~pos ~len)

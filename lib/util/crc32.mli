@@ -1,0 +1,16 @@
+(** CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over byte ranges.
+
+    Used by the storage engine for page checksums and journal-record
+    checksums; table-driven, allocation-free after the first call. *)
+
+val digest : Bytes.t -> pos:int -> len:int -> int32
+(** Checksum of [len] bytes starting at [pos]. *)
+
+val init : int32
+(** Initial running state for incremental use (not a valid digest). *)
+
+val update : int32 -> Bytes.t -> pos:int -> len:int -> int32
+(** Fold more bytes into a running state. *)
+
+val finish : int32 -> int32
+(** Turn a running state into the final digest. *)

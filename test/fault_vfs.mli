@@ -1,0 +1,64 @@
+(** A fault-injecting {!Hopi_storage.Vfs} for crash-safety tests.
+
+    Every file is kept as two images: the {e volatile} one (what the OS page
+    cache would hold — all writes land here) and the {e durable} one (what
+    the platter holds — updated only by [sync]).  A simulated crash decides
+    the fate of un-synced data, optionally tears the in-flight write at a
+    byte boundary, and raises {!Crash}; after that the surviving state is
+    what a fresh process would see when it reopens the files.
+
+    Failure-model assumptions (documented in DESIGN.md): metadata
+    operations — [remove] and [truncate] — are atomic and durable; a torn
+    write delivers a prefix of the buffer; un-synced writes either all
+    survive ([Keep_unsynced]) or all vanish ([Drop_unsynced]) — intermediate
+    interleavings are covered by crashing at every operation index.
+
+    Counted operations (the crash clock): write, sync, truncate, remove. *)
+
+type t
+
+type mode =
+  | Drop_unsynced  (** the crash loses everything after the last [sync] *)
+  | Keep_unsynced  (** the page cache happened to reach the platter *)
+
+exception Crash
+(** Raised out of the faulted operation; the engine under test is then
+    abandoned and the store reopened through {!vfs}. *)
+
+val create : unit -> t
+
+val vfs : t -> Hopi_storage.Vfs.t
+
+val op_count : t -> int
+(** Counted operations performed so far (see above).  Probe a workload
+    fault-free first to learn its op count [n], then crash at each
+    [k < n]. *)
+
+val reset_ops : t -> unit
+
+val arm_crash : t -> op:int -> mode:mode -> ?tear:int -> unit -> unit
+(** Crash when the operation counter reaches [op] (before that operation
+    takes effect).  If the faulted operation is a write and [tear] is given,
+    the first [tear] bytes of it still reach the durable image. *)
+
+val arm_fail_write : t -> n:int -> unit
+(** Make the [n]-th write (0-based) raise [Storage_error (Io _)] — a
+    reported I/O error, not a crash: no data is lost. *)
+
+val disarm : t -> unit
+
+type snapshot
+
+val snapshot : t -> snapshot
+(** Deep copy of all durable images. *)
+
+val restore : t -> snapshot -> unit
+(** Reset every file (both images) to the snapshot and disarm faults; the
+    operation counter is left untouched (use {!reset_ops}). *)
+
+val corrupt_byte : t -> string -> off:int -> unit
+(** Flip one byte of [file] in both images (bit-rot simulation).
+    @raise Not_found if the file does not exist or is too short. *)
+
+val durable_size : t -> string -> int
+(** Size of the durable image ([0] if absent). *)

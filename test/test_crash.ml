@@ -1,0 +1,275 @@
+(* Crash-safety tests: drive the storage engine through a fault-injecting
+   Vfs and check the atomic-save contract — after a crash at ANY point of a
+   save, the store reopens to either the previous committed state or the
+   completed save, never to silent corruption.
+
+   HOPI_FAULT_ITERS scales the qcheck soak (CI runs it much larger than the
+   default `dune runtest`). *)
+
+open Hopi_storage
+module Fv = Hopi_fault_vfs.Fault_vfs
+module Splitmix = Hopi_util.Splitmix
+module Digraph = Hopi_graph.Digraph
+module Closure = Hopi_graph.Closure
+module Cover = Hopi_twohop.Cover
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let iters =
+  match Sys.getenv_opt "HOPI_FAULT_ITERS" with
+  | Some s -> (try max 1 (int_of_string s) with _ -> 30)
+  | None -> 30
+
+let path = "crash.db"
+
+(* the base index: a deterministic random DAG-ish graph over 16 nodes *)
+let base_graph () =
+  let rng = Splitmix.create 7 in
+  let g = Digraph.create () in
+  for v = 0 to 15 do
+    Digraph.add_node g v
+  done;
+  for _ = 1 to 30 do
+    let u = Splitmix.int rng 16 and v = Splitmix.int rng 16 in
+    if u <> v then Digraph.add_edge g u v
+  done;
+  g
+
+(* nodes 100..119 are added by phase B below; query the union domain so the
+   answer matrix distinguishes pre- from post-save states *)
+let domain = List.init 16 Fun.id @ List.init 20 (fun i -> 100 + i)
+
+let matrix store =
+  List.map (fun u -> List.map (fun v -> Cover_store.connected store u v) domain) domain
+
+let reopen_matrix vfs =
+  let pgr = Pager.open_vfs ~pool_pages:8 ~vfs path in
+  let store = Cover_store.open_pager pgr in
+  let m = matrix store in
+  check_int "reopened store verifies clean" 0 (List.length (Pager.verify_pages pgr));
+  m
+
+(* Phase A: build and save the base store (fault-free). *)
+let phase_a vfs =
+  let cover, _ = Hopi_twohop.Builder.build (Closure.compute (base_graph ())) in
+  let pgr = Pager.create_vfs ~pool_pages:8 ~vfs path in
+  let store = Cover_store.create pgr in
+  Cover_store.load_cover store cover;
+  Cover_store.save store;
+  Pager.close pgr;
+  cover
+
+(* Phase B: reopen, grow the index (small pool => mid-transaction evictions
+   that overwrite committed pages), save, close.  Deterministic. *)
+let phase_b vfs =
+  let pgr = Pager.open_vfs ~pool_pages:8 ~vfs path in
+  let store = Cover_store.open_pager pgr in
+  for i = 0 to 19 do
+    let v = 100 + i in
+    Cover_store.add_node store v;
+    Cover_store.insert_in store ~node:v ~center:(i mod 16) ~dist:0;
+    Cover_store.insert_out store ~node:(i mod 16) ~center:v ~dist:0
+  done;
+  Cover_store.save store;
+  Pager.close pgr
+
+let setup () =
+  let fv = Fv.create () in
+  let vfs = Fv.vfs fv in
+  let cover = phase_a vfs in
+  let s1 = Fv.snapshot fv in
+  (fv, vfs, cover, s1)
+
+let test_crash_matrix () =
+  let fv, vfs, cover, s1 = setup () in
+  let a1 = reopen_matrix vfs in
+  (* the recovered base answers = the in-memory cover (rebuild equivalence) *)
+  List.iteri
+    (fun i u ->
+      List.iteri
+        (fun j v ->
+          check_bool
+            (Printf.sprintf "base %d->%d = cover" u v)
+            (Cover.connected cover u v)
+            (List.nth (List.nth a1 i) j))
+        domain)
+    domain;
+  (* probe the op count of a fault-free phase B *)
+  Fv.restore fv s1;
+  Fv.reset_ops fv;
+  phase_b vfs;
+  let n_ops = Fv.op_count fv in
+  check_bool "phase B does real I/O" true (n_ops > 10);
+  let a2 = reopen_matrix vfs in
+  check_bool "phase B changes the answers" true (a1 <> a2);
+  (* crash at every op index, under every crash mode, with and without a
+     torn in-flight write *)
+  (* the last counted op of phase B is the journal removal — the commit
+     point itself — so k ranges over [0, n_ops]: every proper prefix of the
+     save, plus the boundary case where the armed crash never fires *)
+  let outcomes = ref (0, 0) in
+  List.iter
+    (fun (mode, tear) ->
+      for k = 0 to n_ops do
+        Fv.restore fv s1;
+        Fv.reset_ops fv;
+        Fv.arm_crash fv ~op:k ~mode ?tear ();
+        (match phase_b vfs with
+        | () ->
+          if k < n_ops then Alcotest.failf "crash at op %d did not fire" k;
+          Fv.disarm fv
+        | exception Fv.Crash ->
+          if k = n_ops then Alcotest.failf "spurious crash beyond op %d" k);
+        let m = reopen_matrix vfs in
+        if m = a1 then outcomes := (fst !outcomes + 1, snd !outcomes)
+        else if m = a2 then outcomes := (fst !outcomes, snd !outcomes + 1)
+        else Alcotest.failf "crash at op %d recovered to a third state" k
+      done)
+    [
+      (Fv.Drop_unsynced, None);
+      (Fv.Keep_unsynced, None);
+      (Fv.Drop_unsynced, Some 37);  (* tear in-flight writes at a byte boundary *)
+    ];
+  let pre, post = !outcomes in
+  check_int "matrix size" (3 * (n_ops + 1)) (pre + post);
+  (* interrupted prefixes roll back; the completed save (and only it) keeps
+     the new state — the commit point is the journal removal *)
+  check_bool "interrupted saves roll back" true (pre > 0);
+  check_int "completed saves keep the new state" 3 post
+
+let test_fail_nth_write () =
+  let fv, vfs, _, s1 = setup () in
+  let a1 = reopen_matrix vfs in
+  (* probe how many writes a phase B performs *)
+  Fv.restore fv s1;
+  Fv.reset_ops fv;
+  phase_b vfs;
+  (* a reported I/O error (no crash): typed Storage_error, and the store
+     recovers to the pre-save state on reopen *)
+  List.iter
+    (fun n ->
+      Fv.restore fv s1;
+      Fv.reset_ops fv;
+      Fv.arm_fail_write fv ~n;
+      (match phase_b vfs with
+      | () -> Alcotest.fail "injected write failure did not surface"
+      | exception Storage_error.Storage_error (Storage_error.Io _) -> ()
+      | exception e ->
+        Alcotest.failf "expected Storage_error (Io _), got %s" (Printexc.to_string e));
+      check_bool "recovers to pre-save state" true (reopen_matrix vfs = a1))
+    [ 0; 3; 11 ]
+
+let test_byte_flip_detected () =
+  let fv, vfs, _, s1 = setup () in
+  ignore s1;
+  let n_bytes = Fv.durable_size fv path in
+  let n_pages = n_bytes / Page.size in
+  check_bool "store has pages" true (n_pages > 1);
+  for id = 0 to n_pages - 1 do
+    (* hit a different in-page offset each time: CRC field, flag byte and
+       sliding payload positions are all covered across pages *)
+    let in_page = id * 131 mod Page.size in
+    Fv.restore fv s1;
+    Fv.corrupt_byte fv path ~off:((id * Page.size) + in_page);
+    let pgr = Pager.open_vfs ~pool_pages:8 ~vfs path in
+    check_int
+      (Printf.sprintf "flip in page %d at +%d detected" id in_page)
+      1
+      (List.length (Pager.verify_pages pgr));
+    check_bool "the right page is reported" true (Pager.verify_pages pgr = [ id ])
+  done;
+  (* a flipped catalog byte is also rejected on the normal open path *)
+  Fv.restore fv s1;
+  Fv.corrupt_byte fv path ~off:(Page.payload_off + 1);
+  let pgr = Pager.open_vfs ~pool_pages:8 ~vfs path in
+  check_bool "catalog checksum failure raised" true
+    (match Cover_store.open_pager pgr with
+    | _ -> false
+    | exception Storage_error.Storage_error (Storage_error.Checksum { page = 0 }) -> true)
+
+(* qcheck soak: random store, random mutation, crash at a random op under a
+   random mode/tear — recovery must equal pre- or post-save, and the base
+   answers must equal an in-memory rebuild *)
+let prop_crash_soak =
+  let gen =
+    QCheck2.Gen.(
+      quad (int_range 0 1_000_000) (int_range 0 100_000) bool (int_bound (Page.size - 1)))
+  in
+  QCheck2.Test.make ~name:"crash soak: recovery is pre- or post-save" ~count:iters gen
+    (fun (seed, kpick, drop, tear_at) ->
+      let fv = Fv.create () in
+      let vfs = Fv.vfs fv in
+      let rng = Splitmix.create seed in
+      let n = 4 + Splitmix.int rng 8 in
+      let g = Digraph.create () in
+      for v = 0 to n - 1 do
+        Digraph.add_node g v
+      done;
+      for _ = 1 to 2 * n do
+        let u = Splitmix.int rng n and v = Splitmix.int rng n in
+        if u <> v then Digraph.add_edge g u v
+      done;
+      let cover, _ = Hopi_twohop.Builder.build (Closure.compute g) in
+      let pgr = Pager.create_vfs ~pool_pages:8 ~vfs "soak.db" in
+      let store = Cover_store.create pgr in
+      Cover_store.load_cover store cover;
+      Cover_store.save store;
+      Pager.close pgr;
+      let dom = List.init n Fun.id @ [ 200; 201; 202 ] in
+      let mat st = List.map (fun u -> List.map (Cover_store.connected st u) dom) dom in
+      let reopen_mat () =
+        let pgr = Pager.open_vfs ~pool_pages:8 ~vfs "soak.db" in
+        let st = Cover_store.open_pager pgr in
+        let m = mat st in
+        if Pager.verify_pages pgr <> [] then failwith "corruption after recovery";
+        m
+      in
+      let s1 = Fv.snapshot fv in
+      let mutate () =
+        let r = Splitmix.create (seed lxor 0x5EED) in
+        let pgr = Pager.open_vfs ~pool_pages:8 ~vfs "soak.db" in
+        let st = Cover_store.open_pager pgr in
+        for _ = 0 to 7 do
+          let v = 200 + Splitmix.int r 3 in
+          let c = Splitmix.int r n in
+          Cover_store.insert_in st ~node:v ~center:c ~dist:0;
+          Cover_store.insert_out st ~node:c ~center:v ~dist:0
+        done;
+        Cover_store.save st;
+        Pager.close pgr
+      in
+      let a1 = reopen_mat () in
+      (* rebuild equivalence of the recovered base *)
+      let rebuilt =
+        List.map (fun u -> List.map (fun v -> Cover.connected cover u v) dom) dom
+      in
+      if a1 <> rebuilt then failwith "recovered base differs from rebuild";
+      Fv.restore fv s1;
+      Fv.reset_ops fv;
+      mutate ();
+      let n_ops = Fv.op_count fv in
+      let a2 = reopen_mat () in
+      Fv.restore fv s1;
+      Fv.reset_ops fv;
+      let mode = if drop then Fv.Drop_unsynced else Fv.Keep_unsynced in
+      let tear = if seed mod 3 = 0 then Some tear_at else None in
+      Fv.arm_crash fv ~op:(kpick mod n_ops) ~mode ?tear ();
+      (match mutate () with
+      | () -> failwith "crash did not fire"
+      | exception Fv.Crash -> ());
+      let m = reopen_mat () in
+      m = a1 || m = a2)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suite =
+  [
+    ( "storage.crash",
+      [
+        Alcotest.test_case "crash-at-every-step matrix" `Quick test_crash_matrix;
+        Alcotest.test_case "injected write failure" `Quick test_fail_nth_write;
+        Alcotest.test_case "flipped byte is detected" `Quick test_byte_flip_detected;
+      ]
+      @ qsuite [ prop_crash_soak ] );
+  ]

@@ -9,6 +9,9 @@ module Dist_cover = Hopi_twohop.Dist_cover
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 
+(* user data lives above the pager-owned checksum header *)
+let po = Page.payload_off
+
 (* {1 Pager} *)
 
 let test_pager_alloc_read () =
@@ -16,9 +19,9 @@ let test_pager_alloc_read () =
   let id = Pager.alloc p in
   check_int "first page" 0 id;
   let page = Pager.read p id in
-  Page.set_i32 page 0 123456;
+  Page.set_i32 page po 123456;
   Pager.mark_dirty p id;
-  check_int "read back" 123456 (Page.get_i32 (Pager.read p id) 0);
+  check_int "read back" 123456 (Page.get_i32 (Pager.read p id) po);
   Alcotest.check_raises "oob" (Invalid_argument "Pager.read: page 5 out of [0,1)")
     (fun () -> ignore (Pager.read p 5))
 
@@ -29,11 +32,11 @@ let test_pager_eviction_roundtrip () =
   for i = 0 to n - 1 do
     let id = Pager.alloc p in
     let page = Pager.read p id in
-    Page.set_i32 page 0 (i * 7);
+    Page.set_i32 page po (i * 7);
     Pager.mark_dirty p id
   done;
   for i = 0 to n - 1 do
-    check_int (Printf.sprintf "page %d" i) (i * 7) (Page.get_i32 (Pager.read p i) 0)
+    check_int (Printf.sprintf "page %d" i) (i * 7) (Page.get_i32 (Pager.read p i) po)
   done;
   let st = Pager.stats p in
   check_bool "evictions happened" true (st.Pager.evictions > 0);
@@ -58,16 +61,124 @@ let test_pager_pinning () =
   let p = Pager.create ~pool_pages:8 Pager.Memory in
   let id0 = Pager.alloc p in
   let page0 = Pager.pin p id0 in
-  Page.set_i32 page0 0 999;
+  Page.set_i32 page0 po 999;
   (* churn through many pages: id0 must not be evicted *)
   for _ = 1 to 50 do
     let id = Pager.alloc p in
     ignore (Pager.read p id)
   done;
-  Page.set_i32 page0 4 1000;
+  Page.set_i32 page0 (po + 4) 1000;
   Pager.mark_dirty p id0;
   Pager.unpin p id0;
-  check_int "value survives" 999 (Page.get_i32 (Pager.read p id0) 0)
+  check_int "value survives" 999 (Page.get_i32 (Pager.read p id0) po)
+
+let test_pager_pin_nesting () =
+  (* nested pins: the page stays resident until the LAST unpin, across
+     eviction pressure after each level of unpinning *)
+  let p = Pager.create ~pool_pages:4 Pager.Memory in
+  let id0 = Pager.alloc p in
+  let page = Pager.pin p id0 in
+  let page' = Pager.pin p id0 in
+  check_bool "same buffer" true (page == page');
+  Page.set_i32 page po 4242;
+  Pager.mark_dirty p id0;
+  let churn () =
+    for _ = 1 to 20 do
+      let id = Pager.alloc p in
+      let q = Pager.read p id in
+      Page.set_i32 q po 1;
+      Pager.mark_dirty p id
+    done
+  in
+  churn ();
+  Pager.unpin p id0;
+  (* still pinned once: the buffer must survive more churn *)
+  churn ();
+  Page.set_i32 page (po + 4) 77;
+  Pager.mark_dirty p id0;
+  Pager.unpin p id0;
+  (* now evictable: churn again, then a fresh read must come from the store *)
+  churn ();
+  let back = Pager.read p id0 in
+  check_int "pinned write survives eviction" 4242 (Page.get_i32 back po);
+  check_int "second write survives too" 77 (Page.get_i32 back (po + 4))
+
+let test_pager_free_list_reuse () =
+  let p = Pager.create Pager.Memory in
+  let ids = List.init 6 (fun _ -> Pager.alloc p) in
+  check_int "six pages" 6 (Pager.n_pages p);
+  List.iter (Pager.free p) [ List.nth ids 2; List.nth ids 4 ];
+  check_int "two free" 2 (Pager.stats p).Pager.free_pages;
+  let a = Pager.alloc p in
+  let b = Pager.alloc p in
+  (* freed pages are handed out again (LIFO order not part of the contract) *)
+  check_bool "reused freed ids" true
+    (List.sort compare [ a; b ] = List.sort compare [ List.nth ids 2; List.nth ids 4 ]);
+  check_int "no growth" 6 (Pager.n_pages p);
+  check_int "free list drained" 0 (Pager.stats p).Pager.free_pages;
+  let c = Pager.alloc p in
+  check_int "then fresh pages again" 6 c
+
+let test_pager_freed_pages_after_reopen () =
+  (* the free list is not persisted: after save/reopen, freed page ids must
+     NOT be recycled (their storage is only reclaimed by a rebuild) *)
+  let vfs = Vfs.memory () in
+  let pager = Pager.create_vfs ~vfs "free.db" in
+  let store = Cover_store.create pager in
+  List.iter (fun v -> Cover_store.add_node store v) [ 1; 2; 3 ];
+  let freed = Pager.alloc pager in
+  Pager.free pager freed;
+  check_bool "free before save" true ((Pager.stats pager).Pager.free_pages > 0);
+  Cover_store.save store;
+  Pager.close pager;
+  let pager2 = Pager.open_vfs ~vfs "free.db" in
+  check_int "free list empty after reopen" 0 (Pager.stats pager2).Pager.free_pages;
+  let n_before = Pager.n_pages pager2 in
+  let fresh = Pager.alloc pager2 in
+  check_int "alloc extends the file instead" n_before fresh;
+  Pager.close pager2
+
+(* qcheck: random page workloads survive flush + open_existing byte-identically
+   on the real VFS (satellite: round-trip under eviction and reopen) *)
+let prop_pager_roundtrip_real_vfs =
+  let gen =
+    QCheck2.Gen.(
+      pair (int_range 1 40)
+        (list_size (int_bound 200)
+           (triple (int_bound 39) (int_bound 100) (int_range (-0x40000000) 0x3FFFFFFF))))
+  in
+  QCheck2.Test.make ~name:"pager file roundtrip byte-identical" ~count:30 gen
+    (fun (n_pages, writes) ->
+      let path = Filename.temp_file "hopi_prop" ".db" in
+      Fun.protect
+        ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+        (fun () ->
+          let p = Pager.create ~pool_pages:4 (Pager.File path) in
+          for _ = 1 to n_pages do
+            ignore (Pager.alloc p)
+          done;
+          (* the model: what each word of each page should hold *)
+          let model = Hashtbl.create 64 in
+          List.iter
+            (fun (page, word, value) ->
+              let page = page mod n_pages in
+              let off = po + (word mod ((Page.size - po) / 4)) * 4 in
+              let b = Pager.read p page in
+              Page.set_i32 b off value;
+              Pager.mark_dirty p page;
+              Hashtbl.replace model (page, off) value)
+            writes;
+          Pager.close p;
+          let q = Pager.open_existing ~pool_pages:4 path in
+          let ok = ref (Pager.n_pages q = n_pages) in
+          Hashtbl.iter
+            (fun (page, off) value ->
+              if Page.get_i32 (Pager.read q page) off <> value then ok := false)
+            model;
+          (* and a full checksum sweep straight off the file *)
+          if Pager.verify_pages q <> [] then ok := false;
+          Pager.close q;
+          !ok))
 
 (* {1 Btree} *)
 
@@ -370,8 +481,52 @@ let test_cover_store_persistence_distances () =
 let test_catalog_bad_magic () =
   let pager = Pager.create Pager.Memory in
   ignore (Pager.alloc pager);
-  Alcotest.check_raises "bad magic" (Failure "Catalog.read: bad magic") (fun () ->
-      ignore (Cover_store.open_pager pager))
+  Alcotest.check_raises "bad magic"
+    (Storage_error.Storage_error
+       (Storage_error.Bad_magic { got = 0; expected = Catalog.magic }))
+    (fun () -> ignore (Cover_store.open_pager pager))
+
+let test_catalog_bad_version () =
+  let pager = Pager.create Pager.Memory in
+  ignore (Pager.alloc pager);
+  let page = Pager.read pager 0 in
+  Page.set_i32 page po Catalog.magic;
+  Page.set_i32 page (po + 4) 999;
+  Pager.mark_dirty pager 0;
+  Alcotest.check_raises "bad version"
+    (Storage_error.Storage_error
+       (Storage_error.Bad_version { got = 999; expected = Catalog.version }))
+    (fun () -> ignore (Cover_store.open_pager pager))
+
+let test_catalog_truncated () =
+  (* an empty pager has no page 0 at all *)
+  let pager = Pager.create Pager.Memory in
+  check_bool "truncated" true
+    (match Cover_store.open_pager pager with
+    | _ -> false
+    | exception Storage_error.Storage_error (Storage_error.Truncated _) -> true)
+
+let test_catalog_wrong_kind () =
+  (* a saved closure store must be rejected by Cover_store.open_pager *)
+  let vfs = Vfs.memory () in
+  let pager = Pager.create_vfs ~vfs "kind.db" in
+  let g = Hopi_graph.Digraph.create () in
+  Hopi_graph.Digraph.add_edge g 1 2;
+  let cs = Closure_store.create pager in
+  Closure_store.load cs (Hopi_graph.Closure.compute g);
+  Closure_store.save cs;
+  Pager.close pager;
+  let pager2 = Pager.open_vfs ~vfs "kind.db" in
+  check_bool "wrong kind rejected" true
+    (match Cover_store.open_pager pager2 with
+    | _ -> false
+    | exception Storage_error.Storage_error (Storage_error.Bad_catalog _) -> true)
+
+let test_open_missing_file () =
+  check_bool "missing file" true
+    (match Pager.open_existing "/nonexistent/hopi-no-such-store.db" with
+    | _ -> false
+    | exception Storage_error.Storage_error (Storage_error.File_not_found _) -> true)
 
 (* {1 Closure_store} *)
 
@@ -452,7 +607,13 @@ let suite =
         Alcotest.test_case "eviction roundtrip" `Quick test_pager_eviction_roundtrip;
         Alcotest.test_case "file backend" `Quick test_pager_file_backend;
         Alcotest.test_case "pinning" `Quick test_pager_pinning;
-      ] );
+        Alcotest.test_case "pin nesting across evictions" `Quick test_pager_pin_nesting;
+        Alcotest.test_case "free-list reuse" `Quick test_pager_free_list_reuse;
+        Alcotest.test_case "freed pages after reopen" `Quick
+          test_pager_freed_pages_after_reopen;
+        Alcotest.test_case "open missing file" `Quick test_open_missing_file;
+      ]
+      @ qsuite [ prop_pager_roundtrip_real_vfs ] );
     ( "storage.btree",
       [
         Alcotest.test_case "basic" `Quick test_btree_basic;
@@ -478,6 +639,9 @@ let suite =
         Alcotest.test_case "persistence distances" `Quick
           test_cover_store_persistence_distances;
         Alcotest.test_case "bad catalog" `Quick test_catalog_bad_magic;
+        Alcotest.test_case "bad version" `Quick test_catalog_bad_version;
+        Alcotest.test_case "truncated store" `Quick test_catalog_truncated;
+        Alcotest.test_case "wrong store kind" `Quick test_catalog_wrong_kind;
       ] );
     ("storage.closure_store", [ Alcotest.test_case "basic" `Quick test_closure_store ]);
     ( "storage.cover_store_props",
