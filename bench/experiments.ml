@@ -593,6 +593,138 @@ let storage_durability (s : scale) =
     (Cover_store.n_entries reopened);
   if not clean then failwith "storage_durability: corruption after recovery"
 
+(* {1 Serving: batch query throughput, cold vs warm label cache} *)
+
+(* The serving layer's pitch is that a warm label cache turns every probe
+   into two in-memory array merges, where a cold snapshot pays a B+-tree
+   range scan per label set.  Measured here end to end: persist a cover,
+   re-open it read-only, and push identical query batches through a cold
+   (cache disabled) and a warm (cache pre-touched) snapshot at several
+   pool sizes, on both a uniform and a Zipf-skewed workload.  Every
+   answer is checked against a sequential, uncached Cover_store oracle. *)
+let query_throughput (s : scale) =
+  section "serving: batch query throughput, cold vs warm label cache";
+  let module Serve = Hopi_serve in
+  let module Query_gen = Hopi_workload.Query_gen in
+  let module Pool = Hopi_util.Pool in
+  let c = dblp_collection s.dblp_docs in
+  let r = Build.build Config.default c in
+  let path = Filename.temp_file "hopi_qtp" ".db" in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists path then Sys.remove path;
+      if Sys.file_exists (path ^ "-journal") then Sys.remove (path ^ "-journal"))
+  @@ fun () ->
+  (* persist exactly as [hopi build --store] would *)
+  let pager = Pager.create ~pool_pages:512 ~fsync:false (Pager.File path) in
+  let store = Cover_store.create pager in
+  Cover_store.load_cover store r.Build.cover;
+  Cover_store.save store;
+  Pager.close pager;
+  let nodes =
+    let acc = ref [] in
+    Collection.iter_elements c (fun e -> acc := e :: !acc);
+    Array.of_list !acc
+  in
+  note "collection: %d elements, cover %d entries, stored at %s"
+    (Array.length nodes) (Cover.size r.Build.cover) path;
+  let n_q = max 2_000 (int_of_float (20_000.0 *. float_of_int s.dblp_docs /. 500.0)) in
+  (* alternate reachability and distance probes over the same pair stream *)
+  let queries_of pairs =
+    Array.mapi
+      (fun i (u, v) ->
+        if i land 1 = 0 then Serve.Batch.Reach (u, v) else Serve.Batch.Dist (u, v))
+      pairs
+  in
+  let workloads =
+    [
+      ("uniform", queries_of (Query_gen.uniform_pairs ~seed:11 ~nodes ~n:n_q));
+      ( "zipf",
+        queries_of
+          (Query_gen.zipf_pairs ~theta:Query_gen.default_theta ~seed:12 ~nodes
+             ~n:n_q) );
+    ]
+  in
+  (* sequential, uncached oracle straight off the B+-trees *)
+  let oracle queries =
+    let pgr = Pager.open_existing ~pool_pages:256 path in
+    Fun.protect ~finally:(fun () -> Pager.close pgr) @@ fun () ->
+    let st = Cover_store.open_pager pgr in
+    Array.map
+      (fun q ->
+        match q with
+        | Serve.Batch.Reach (u, v) -> Serve.Batch.Bool (Cover_store.connected st u v)
+        | Serve.Batch.Dist (u, v) ->
+          Serve.Batch.Distance (Cover_store.min_distance st u v)
+        | _ -> assert false)
+      queries
+  in
+  let qps n t = float_of_int n /. Float.max t 1e-9 in
+  let mismatches = ref 0 in
+  let rows = ref [] in
+  let jobs_list = [ 1; 2; 4 ] in
+  List.iter
+    (fun (wname, queries) ->
+      let expected = oracle queries in
+      List.iter
+        (fun jobs ->
+          (* cold: caching disabled, every probe pays the B+-tree scans *)
+          let cold_qps =
+            let snap = Serve.Snapshot.open_file ~cache_mb:0 path in
+            Fun.protect ~finally:(fun () -> Serve.Snapshot.close snap) @@ fun () ->
+            Pool.with_pool ~jobs @@ fun pool ->
+            let answers, t =
+              Timer.time (fun () -> Serve.Batch.eval_batch ~pool snap queries)
+            in
+            if answers <> expected then incr mismatches;
+            qps n_q t
+          in
+          (* warm: run the batch once to populate the cache, then measure *)
+          let warm_qps, hit_pct =
+            let snap = Serve.Snapshot.open_file ~cache_mb:64 path in
+            Fun.protect ~finally:(fun () -> Serve.Snapshot.close snap) @@ fun () ->
+            Pool.with_pool ~jobs @@ fun pool ->
+            ignore (Serve.Batch.eval_batch ~pool snap queries);
+            let h0 = Hopi_obs.Counter.get (Serve.Label_cache.hits ())
+            and m0 = Hopi_obs.Counter.get (Serve.Label_cache.misses ()) in
+            let answers, t =
+              Timer.time (fun () -> Serve.Batch.eval_batch ~pool snap queries)
+            in
+            if answers <> expected then incr mismatches;
+            let h = Hopi_obs.Counter.get (Serve.Label_cache.hits ()) - h0
+            and m = Hopi_obs.Counter.get (Serve.Label_cache.misses ()) - m0 in
+            (qps n_q t, 100 * h / max 1 (h + m))
+          in
+          let speedup = warm_qps /. Float.max cold_qps 1e-9 in
+          let g name v =
+            Hopi_obs.Gauge.set
+              (Hopi_obs.Registry.gauge
+                 (Printf.sprintf "bench_query_%s_%s_jobs%d" name wname jobs))
+              v
+          in
+          g "cold_qps" (int_of_float cold_qps);
+          g "warm_qps" (int_of_float warm_qps);
+          g "warm_speedup_pct" (int_of_float (100.0 *. speedup));
+          rows :=
+            [
+              wname; string_of_int jobs;
+              Fmt.str "%.0f" cold_qps; Fmt.str "%.0f" warm_qps;
+              Fmt.str "%.2fx" speedup; Fmt.str "%d%%" hit_pct;
+            ]
+            :: !rows)
+        jobs_list)
+    workloads;
+  print_table
+    [ "workload"; "jobs"; "cold q/s"; "warm q/s"; "speedup"; "hit rate" ]
+    (List.rev !rows);
+  note "%d queries per batch (reach/dist alternating); cold = cache disabled," n_q;
+  note "warm = same batch re-run after one priming pass; oracle = sequential";
+  note "uncached Cover_store probes.";
+  note "answer mismatches against the oracle: %d" !mismatches;
+  if !mismatches > 0 then failwith "query_throughput: answers diverge from the oracle";
+  if Domain.recommended_domain_count () = 1 then
+    note "NOTE: one core available — speedups here come from the cache, not the pool."
+
 (* {1 Correctness gate} *)
 
 let selfcheck (_ : scale) =

@@ -26,6 +26,8 @@ let experiments : (string * string * (Bench_common.scale -> unit)) list =
      Experiments.parallel_build);
     ("storage_durability", "atomic save latency, fsync cost, crash recovery",
      Experiments.storage_durability);
+    ("query_throughput", "serving: batch throughput, cold vs warm label cache",
+     Experiments.query_throughput);
     ("micro", "query-latency micro-benchmarks", Micro.run);
   ]
 

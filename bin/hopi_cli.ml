@@ -1,9 +1,13 @@
 (* hopi — command-line front end.
 
      hopi gen  --kind dblp --docs 200 --out corpus/   generate a corpus
-     hopi build corpus/                               build + stats
+     hopi build corpus/ --store corpus.db             build + persist + stats
      hopi query corpus/ '//article//author'           evaluate a path query
-     hopi check corpus/                               exhaustive self-check *)
+     hopi query corpus/ --batch queries.txt --jobs 4  batch evaluation
+     hopi serve corpus.db --jobs 4 --cache-mb 64      query-serving loop
+     hopi check corpus/                               exhaustive self-check
+
+   See docs/OPERATIONS.md for the full operator guide. *)
 
 module Collection = Hopi_collection.Collection
 module Timer = Hopi_util.Timer
@@ -156,24 +160,152 @@ let verify_store path verbose =
 
 (* {1 query} *)
 
-let query dir expr_str top distance metrics_path =
+let render_element c e =
+  Fmt.str "%s:%s" (Collection.doc_name c (Collection.doc_of_element c e))
+    (Collection.tag_of c e)
+
+let render_match c m =
+  Fmt.str "score %.3f  %s" m.Hopi_query.Eval.score
+    (String.concat " -> " (List.map (render_element c) m.Hopi_query.Eval.path))
+
+(* Force the lazily built sub-indexes once, so pool workers only read. *)
+let prewarm_for_pool idx ~distance =
+  ignore (Hopi.text_index idx);
+  if distance then ignore (Hopi.distance_index idx)
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let acc = ref [] in
+      (try
+         while true do
+           acc := input_line ic :: !acc
+         done
+       with End_of_file -> ());
+      List.rev !acc)
+
+let query dir expr_str batch_file top distance jobs metrics_path =
   let c = load_dir dir in
   let idx = Hopi.create c in
-  let expr = Hopi_query.Path_expr.parse_exn expr_str in
   let options =
     { Hopi_query.Eval.default_options with max_results = top; use_distance = distance }
   in
-  let matches, t = Timer.time (fun () -> Hopi_query.Eval.eval ~options idx expr) in
-  Fmt.pr "%d matches in %a@." (List.length matches) Timer.pp_duration t;
-  List.iteri
-    (fun i m ->
-      let render e =
-        Fmt.str "%s:%s" (Collection.doc_name c (Collection.doc_of_element c e))
-          (Collection.tag_of c e)
+  (match (expr_str, batch_file) with
+   | Some expr_str, None ->
+     let expr = Hopi_query.Path_expr.parse_exn expr_str in
+     let matches, t = Timer.time (fun () -> Hopi_query.Eval.eval ~options idx expr) in
+     Fmt.pr "%d matches in %a@." (List.length matches) Timer.pp_duration t;
+     List.iteri (fun i m -> Fmt.pr "%3d. %s@." (i + 1) (render_match c m)) matches
+   | None, Some path ->
+     let lines =
+       read_lines path
+       |> List.filter (fun l ->
+              let l = String.trim l in
+              l <> "" && not (String.length l > 0 && l.[0] = '#'))
+     in
+     let exprs =
+       Array.of_list (List.map (fun l -> (l, Hopi_query.Path_expr.parse_exn l)) lines)
+     in
+     prewarm_for_pool idx ~distance:(distance || options.max_distance <> None);
+     let answers, t =
+       Timer.time (fun () ->
+           Hopi_util.Pool.with_pool ~jobs (fun pool ->
+               Hopi_util.Pool.map_array pool
+                 (fun (_, expr) -> Hopi_query.Eval.eval ~options idx expr)
+                 exprs))
+     in
+     Array.iteri
+       (fun i matches ->
+         let src, _ = exprs.(i) in
+         match matches with
+         | [] -> Fmt.pr "%s: 0 matches@." src
+         | best :: _ ->
+           Fmt.pr "%s: %d matches; top %s@." src (List.length matches)
+             (render_match c best))
+       answers;
+     Fmt.pr "%d expressions in %a (jobs %d)@." (Array.length exprs) Timer.pp_duration t
+       jobs
+   | Some _, Some _ -> failwith "give either EXPR or --batch FILE, not both"
+   | None, None -> failwith "nothing to do: give EXPR or --batch FILE");
+  write_metrics metrics_path
+
+(* {1 serve} *)
+
+let serve store_path jobs cache_mb batch_size pool_pages corpus verbose metrics_path =
+  setup_logs verbose;
+  let module Serve = Hopi_serve in
+  let snap = Serve.Snapshot.open_file ~pool_pages ~cache_mb store_path in
+  Fmt.epr "serving %s: %s store, %d nodes, %d entries; cache %d MiB, jobs %d, batch %d@."
+    store_path
+    (match Serve.Snapshot.kind snap with `Cover -> "cover" | `Closure -> "closure")
+    (Serve.Snapshot.n_nodes snap) (Serve.Snapshot.n_entries snap) cache_mb jobs
+    batch_size;
+  let path_eval =
+    match corpus with
+    | None -> None
+    | Some dir ->
+      let c = load_dir dir in
+      let idx = Hopi.create c in
+      prewarm_for_pool idx ~distance:true;
+      Fmt.epr "corpus %s loaded for path queries (%d elements)@." dir
+        (Collection.n_elements c);
+      Some
+        (fun expr_str ->
+          match Hopi_query.Path_expr.parse expr_str with
+          | Error e -> Error e
+          | Ok expr -> (
+            match Hopi_query.Eval.eval idx expr with
+            | [] -> Ok "0 matches"
+            | best :: _ as matches ->
+              Ok
+                (Fmt.str "%d matches; top %s" (List.length matches)
+                   (render_match c best))))
+  in
+  let served = ref 0 in
+  Hopi_util.Pool.with_pool ~jobs (fun pool ->
+      let pending = ref [] and n_pending = ref 0 in
+      let drain () =
+        if !n_pending > 0 then begin
+          let queries = Array.of_list (List.rev !pending) in
+          pending := [];
+          n_pending := 0;
+          let answers = Serve.Batch.eval_batch ?path_eval ~pool snap queries in
+          Array.iter (fun a -> print_endline (Serve.Batch.render a)) answers;
+          served := !served + Array.length answers;
+          flush stdout
+        end
       in
-      Fmt.pr "%3d. score %.3f  %s@." (i + 1) m.Hopi_query.Eval.score
-        (String.concat " -> " (List.map render m.Hopi_query.Eval.path)))
-    matches;
+      let print_now line =
+        (* out-of-band lines keep input order: drain queued queries first *)
+        drain ();
+        print_endline line;
+        flush stdout
+      in
+      (try
+         while true do
+           let line = String.trim (input_line stdin) in
+           if line = "" || line.[0] = '#' then ()
+           else if line = "quit" then raise Exit
+           else if line = "stats" then
+             print_now
+               (Fmt.str "served %d; cache %d entries, %d bytes of %d" !served
+                  (Serve.Label_cache.entries (Serve.Snapshot.cache snap))
+                  (Serve.Label_cache.bytes (Serve.Snapshot.cache snap))
+                  (Serve.Label_cache.capacity_bytes (Serve.Snapshot.cache snap)))
+           else
+             match Serve.Batch.parse line with
+             | Error e -> print_now ("error: " ^ e)
+             | Ok q ->
+               pending := q :: !pending;
+               incr n_pending;
+               if !n_pending >= batch_size then drain ()
+         done
+       with End_of_file | Exit -> ());
+      drain ());
+  Fmt.epr "served %d queries@." !served;
+  Serve.Snapshot.close snap;
   write_metrics metrics_path
 
 (* {1 metrics} *)
@@ -253,12 +385,57 @@ let build_cmd =
     Term.(const build $ dir_arg $ partitioner_arg $ joiner_arg $ limit_arg
           $ jobs $ verbose $ store $ no_fsync $ metrics_arg)
 
+let jobs_arg =
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Worker domains for batch evaluation (answers are returned in \
+               input order for any value).")
+
 let query_cmd =
-  let expr = Arg.(required & pos 1 (some string) None & info [] ~docv:"EXPR") in
+  let expr = Arg.(value & pos 1 (some string) None & info [] ~docv:"EXPR") in
+  let batch =
+    Arg.(value & opt (some file) None & info [ "batch" ] ~docv:"FILE"
+           ~doc:"Evaluate every path expression in $(docv) (one per line, \
+                 $(b,#) comments allowed) on the pool instead of a single \
+                 EXPR.")
+  in
   let top = Arg.(value & opt int 20 & info [ "top" ]) in
   let distance = Arg.(value & flag & info [ "distance" ] ~doc:"Rank by link distance.") in
   Cmd.v (Cmd.info "query" ~doc:"Evaluate a path expression (//a//b, ~tag, *, [predicates])")
-    Term.(const query $ dir_arg $ expr $ top $ distance $ metrics_arg)
+    Term.(const query $ dir_arg $ expr $ batch $ top $ distance $ jobs_arg $ metrics_arg)
+
+let serve_cmd =
+  let store = Arg.(required & pos 0 (some file) None & info [] ~docv:"STORE") in
+  let jobs =
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Worker domains for query evaluation.")
+  in
+  let cache_mb =
+    Arg.(value & opt int 64 & info [ "cache-mb" ] ~docv:"MB"
+           ~doc:"Label-cache budget in MiB; 0 disables caching (every fetch \
+                 goes to the page store).")
+  in
+  let batch =
+    Arg.(value & opt int 1 & info [ "batch" ] ~docv:"B"
+           ~doc:"Group up to $(docv) input lines per evaluation batch \
+                 (1 = answer each line immediately; larger values raise \
+                 throughput on piped workloads).")
+  in
+  let pool_pages =
+    Arg.(value & opt int 256 & info [ "pool-pages" ] ~docv:"N"
+           ~doc:"Buffer-pool pages of each per-domain pager.")
+  in
+  let corpus =
+    Arg.(value & opt (some dir) None & info [ "corpus" ] ~docv:"DIR"
+           ~doc:"Load this corpus (and build its in-memory index) so \
+                 $(b,path EXPR) queries can be served.")
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log progress.") in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve reach/dist/desc/anc/path queries over a stored index \
+             (line-oriented stdin/stdout loop; see docs/OPERATIONS.md)")
+    Term.(const serve $ store $ jobs $ cache_mb $ batch $ pool_pages $ corpus
+          $ verbose $ metrics_arg)
 
 let metrics_cmd =
   let dir = Arg.(value & pos 0 (some dir) None & info [] ~docv:"DIR") in
@@ -296,5 +473,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "hopi" ~doc)
-          [ gen_cmd; build_cmd; query_cmd; check_cmd; inspect_cmd; verify_store_cmd;
+          [ gen_cmd; build_cmd; query_cmd; serve_cmd; check_cmd; inspect_cmd; verify_store_cmd;
             metrics_cmd ]))

@@ -10,6 +10,8 @@ val create : (string * string * float) list -> t
 (** Symmetric similarity pairs; similarity of a tag to itself is always 1. *)
 
 val add : t -> string -> string -> float -> t
+(** [add t a b sim] records the symmetric similarity [sim] for the pair
+    [(a, b)], replacing any earlier value. *)
 
 val similarity : t -> string -> string -> float
 (** In [0,1]; 0 when unrelated. *)

@@ -1,0 +1,125 @@
+(* Query parsing and pool-parallel batch evaluation (contract in the
+   interface).  Answers are computed into their query's slot by
+   Pool.map_array, which is what makes batch output deterministic. *)
+
+module Pool = Hopi_util.Pool
+module Timer = Hopi_util.Timer
+module Ihs = Hopi_util.Int_hashset
+module Registry = Hopi_obs.Registry
+module Counter = Hopi_obs.Counter
+module Gauge = Hopi_obs.Gauge
+module Histogram = Hopi_obs.Histogram
+
+let m_queries =
+  Registry.counter "hopi_serve_queries_total" ~help:"Queries served from snapshots"
+
+let m_batches =
+  Registry.counter "hopi_serve_batches_total" ~help:"Query batches evaluated"
+
+let m_failed =
+  Registry.counter "hopi_serve_query_failures_total"
+    ~help:"Queries answered with an error"
+
+let h_query_ns =
+  Registry.histogram "hopi_serve_query_duration_ns" ~help:"Per-query service time"
+
+let h_batch_ns =
+  Registry.histogram "hopi_serve_batch_duration_ns" ~help:"Per-batch service time"
+
+let g_throughput =
+  Registry.gauge "hopi_serve_throughput_qps"
+    ~help:"Queries per second of the last evaluated batch"
+
+type query =
+  | Reach of int * int
+  | Dist of int * int
+  | Desc of int
+  | Anc of int
+  | Path of string
+
+type answer =
+  | Bool of bool
+  | Distance of int option
+  | Count of int
+  | Rendered of string
+  | Failed of string
+
+let pp_query ppf = function
+  | Reach (u, v) -> Format.fprintf ppf "reach %d %d" u v
+  | Dist (u, v) -> Format.fprintf ppf "dist %d %d" u v
+  | Desc u -> Format.fprintf ppf "desc %d" u
+  | Anc u -> Format.fprintf ppf "anc %d" u
+  | Path e -> Format.fprintf ppf "path %s" e
+
+let parse line =
+  let line = String.trim line in
+  let words = String.split_on_char ' ' line |> List.filter (fun w -> w <> "") in
+  let int w =
+    match int_of_string_opt w with
+    | Some n -> Ok n
+    | None -> Error (Printf.sprintf "not a node id: %S" w)
+  in
+  match words with
+  | [ "reach"; u; v ] ->
+    Result.bind (int u) (fun u -> Result.map (fun v -> Reach (u, v)) (int v))
+  | [ "dist"; u; v ] ->
+    Result.bind (int u) (fun u -> Result.map (fun v -> Dist (u, v)) (int v))
+  | [ "desc"; u ] -> Result.map (fun u -> Desc u) (int u)
+  | [ "anc"; u ] -> Result.map (fun u -> Anc u) (int u)
+  | "path" :: (_ :: _ as rest) -> Ok (Path (String.concat " " rest))
+  | [] -> Error "empty query"
+  | cmd :: _ ->
+    Error
+      (Printf.sprintf
+         "unknown query %S (expected: reach U V | dist U V | desc U | anc U | path EXPR)"
+         cmd)
+
+let render = function
+  | Bool b -> string_of_bool b
+  | Distance None -> "unreachable"
+  | Distance (Some d) -> string_of_int d
+  | Count n -> string_of_int n
+  | Rendered s -> s
+  | Failed e -> "error: " ^ e
+
+type path_eval = string -> (string, string) result
+
+let eval_unmetered ?path_eval snap q =
+  match q with
+  | Reach (u, v) -> Bool (Snapshot.connected snap u v)
+  | Dist (u, v) -> Distance (Snapshot.min_distance snap u v)
+  | Desc u -> Count (Ihs.cardinal (Snapshot.descendants snap u))
+  | Anc u -> Count (Ihs.cardinal (Snapshot.ancestors snap u))
+  | Path expr -> (
+    match path_eval with
+    | None -> Failed "path queries need a corpus (serve --corpus DIR)"
+    | Some f -> ( match f expr with Ok s -> Rendered s | Error e -> Failed e))
+
+let eval ?path_eval snap q =
+  Counter.incr m_queries;
+  let t0 = Timer.start () in
+  let a =
+    match eval_unmetered ?path_eval snap q with
+    | a -> a
+    | exception e -> Failed (Printexc.to_string e)
+  in
+  Histogram.observe h_query_ns (Int64.to_int (Timer.elapsed_ns t0));
+  (match a with Failed _ -> Counter.incr m_failed | _ -> ());
+  a
+
+let eval_batch ?path_eval ~pool snap queries =
+  Counter.incr m_batches;
+  let n = Array.length queries in
+  if n = 0 then [||]
+  else begin
+    (* big batches of tiny queries: hand out contiguous chunks so the
+       atomic cursor is not the bottleneck *)
+    let chunk = max 1 (n / (Pool.jobs pool * 8)) in
+    let t0 = Timer.start () in
+    let answers = Pool.map_array pool ~chunk (eval ?path_eval snap) queries in
+    let elapsed = Int64.to_int (Timer.elapsed_ns t0) in
+    Histogram.observe h_batch_ns elapsed;
+    Gauge.set g_throughput
+      (int_of_float (float_of_int n *. 1e9 /. float_of_int (max 1 elapsed)));
+    answers
+  end

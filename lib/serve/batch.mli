@@ -1,0 +1,62 @@
+(** Batched query evaluation over a {!Snapshot} on a domain pool.
+
+    The line-oriented query language served by [hopi serve]:
+
+    - [reach U V] — is element [V] reachable from [U]? answers
+      [true]/[false];
+    - [dist U V] — shortest stored distance; answers an integer or
+      [unreachable];
+    - [desc U] / [anc U] — size of the descendant / ancestor set
+      (including the node itself); answers an integer;
+    - [path EXPR] — a path expression, delegated to the [path_eval]
+      callback (the CLI wires {!Hopi_query.Eval} over a corpus in; a
+      snapshot alone stores no tags, so without the callback this answers
+      an error).
+
+    [eval_batch] evaluates a whole array concurrently on a
+    {!Hopi_util.Pool} and returns answers in input order — slot [i] always
+    answers query [i], independent of which domain ran it (deterministic
+    result ordering, the same discipline as the parallel build).  A query
+    that raises is answered as {!constructor:Failed}, never by killing the
+    batch.
+
+    Metrics: [hopi_serve_queries_total], [hopi_serve_batches_total],
+    [hopi_serve_query_duration_ns], [hopi_serve_batch_duration_ns] and the
+    [hopi_serve_throughput_qps] gauge (queries per second of the last
+    batch). *)
+
+type query =
+  | Reach of int * int
+  | Dist of int * int
+  | Desc of int
+  | Anc of int
+  | Path of string
+
+type answer =
+  | Bool of bool
+  | Distance of int option
+  | Count of int
+  | Rendered of string  (** a [path] result rendered by the evaluator *)
+  | Failed of string
+
+val parse : string -> (query, string) result
+(** Parse one input line.  Leading/trailing blanks are ignored; the caller
+    filters empty and [#]-comment lines. *)
+
+val render : answer -> string
+(** One output line per answer: [true]/[false], an integer, [unreachable],
+    or [error: ...]. *)
+
+val pp_query : Format.formatter -> query -> unit
+
+type path_eval = string -> (string, string) result
+(** Evaluate a path expression and render its result as one line; [Error]
+    becomes {!constructor:Failed}.  Must be safe to call from any domain of
+    the pool. *)
+
+val eval : ?path_eval:path_eval -> Snapshot.t -> query -> answer
+(** Evaluate one query (counted and timed). *)
+
+val eval_batch :
+  ?path_eval:path_eval -> pool:Hopi_util.Pool.t -> Snapshot.t -> query array -> answer array
+(** Evaluate a batch on the pool; answers land at their query's index. *)

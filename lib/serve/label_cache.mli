@@ -1,0 +1,68 @@
+(** A sharded, size-bounded LRU cache for label sets.
+
+    The serving layer's hot path is fetching [Lin]/[Lout] label sets of the
+    same nodes over and over (real query workloads are heavily skewed), and
+    every uncached fetch is a B+-tree range scan through the pager — page
+    cache probes, CRC verification on misses, per-row closure calls.  This
+    cache keeps the materialised label arrays in memory so a hot fetch is
+    one hash probe.
+
+    Concurrency: the key space is split across [shards] independent
+    sub-caches, each protected by its own mutex, so worker domains serving
+    disjoint keys rarely contend.  Entries are immutable once inserted —
+    callers must treat the returned array as read-only (it is shared with
+    every other reader of that key).
+
+    Size accounting: each entry is charged its payload words plus a fixed
+    bookkeeping overhead ({!entry_cost}); a shard evicts from its LRU end
+    until it is back under its slice of [capacity_bytes].  An entry larger
+    than a whole shard slice is not cached at all (caching it would evict
+    everything else and still overflow).
+
+    Metrics (registered in [Hopi_obs.Registry]):
+    [hopi_serve_cache_hits_total], [hopi_serve_cache_misses_total],
+    [hopi_serve_cache_evictions_total], [hopi_serve_cache_bytes],
+    [hopi_serve_cache_entries]. *)
+
+type t
+
+val create : ?shards:int -> capacity_bytes:int -> unit -> t
+(** [shards] (default 16) is rounded up to a power of two;
+    [capacity_bytes] is the total budget across all shards.
+    [capacity_bytes <= 0] creates a disabled cache: {!find} always misses
+    (without counting metrics) and {!add} is a no-op — the cold-path
+    configuration used by benchmarks and by [--cache-mb 0]. *)
+
+val enabled : t -> bool
+
+val find : t -> int -> int array option
+(** [find t key] returns the cached array and promotes the entry to
+    most-recently-used.  Counts a hit or a miss. *)
+
+val add : t -> int -> int array -> unit
+(** Insert (or replace) the entry, evicting least-recently-used entries of
+    the same shard as needed.  The cache takes ownership of nothing: the
+    caller must not mutate [value] afterwards. *)
+
+val bytes : t -> int
+(** Current accounted size across all shards. *)
+
+val entries : t -> int
+
+val capacity_bytes : t -> int
+
+val entry_cost : int array -> int
+(** The bytes an entry with this payload is charged — exposed so tests can
+    account for the eviction bound exactly. *)
+
+(** {1 Metric handles}
+
+    The process-wide cache counters (all caches share them), exposed so
+    benchmarks and tests can read deltas without going through
+    {!Hopi_obs.Registry.find}. *)
+
+val hits : unit -> Hopi_obs.Counter.t
+
+val misses : unit -> Hopi_obs.Counter.t
+
+val evictions : unit -> Hopi_obs.Counter.t

@@ -1,0 +1,75 @@
+(** A read-only, multi-domain view of a persisted index file.
+
+    [open_file] attaches to a page file written by [hopi build --store]
+    (either a {!Hopi_storage.Cover_store} or the materialised-closure
+    baseline, {!Hopi_storage.Closure_store}) and serves reachability and
+    distance queries from it without ever writing a page.
+
+    Concurrency model: the pager and B+-tree layers are single-domain
+    structures, so the snapshot opens one private pager (and store handle)
+    {e per worker domain}, lazily, keyed by [Domain.self ()].  Domains
+    therefore never share mutable storage state; what they do share is the
+    immutable node registry (frozen into memory at open time) and the
+    {!Label_cache}, whose sharded entries are write-once arrays.  This is
+    what makes batch evaluation on a {!Hopi_util.Pool} safe without a
+    global lock.
+
+    Query semantics are identical to the underlying store's — the 2-hop
+    test [(Lout(u) ∪ {u}) ∩ (Lin(v) ∪ {v}) ≠ ∅] with the paper's
+    compensating probes for the implicit self-entries, and
+    [min(dout(u,w) + din(w,v))] for distances — but label sets are fetched
+    through the cache as sorted arrays, so a warm probe is two array
+    merges instead of two B+-tree range scans. *)
+
+type t
+
+val open_file : ?pool_pages:int -> ?cache_mb:int -> ?shards:int -> string -> t
+(** Attach to a committed page file.  [pool_pages] (default 256) sizes
+    each per-domain pager's buffer pool; [cache_mb] (default 64) is the
+    label-cache budget, 0 disables caching; [shards] is passed to
+    {!Label_cache.create}.
+    @raise Hopi_storage.Storage_error.Storage_error on a missing file, a
+    corrupt catalog, or an unrecoverable journal. *)
+
+val close : t -> unit
+(** Release every per-domain pager.  Call from the domain that owns the
+    pool after all in-flight batches have drained. *)
+
+val kind : t -> [ `Cover | `Closure ]
+
+val with_dist : t -> bool
+(** Do stored labels carry distances (so {!min_distance} can answer more
+    than 0/1-hop)? Always [false] for closure stores. *)
+
+val n_nodes : t -> int
+(** Registered nodes (cover stores); 0 for closure stores, which keep no
+    node registry. *)
+
+val n_entries : t -> int
+(** Label entries (cover) or connections (closure). *)
+
+val cache : t -> Label_cache.t
+
+val path : t -> string
+
+(** {1 Queries}
+
+    All query functions may be called concurrently from any domain. *)
+
+val mem_node : t -> int -> bool
+
+val connected : t -> int -> int -> bool
+(** [connected t u v]: does the stored index contain the connection
+    [u ⇝ v]?  Reflexive ([u = v] answers [true] for any known node). *)
+
+val min_distance : t -> int -> int -> int option
+(** Shortest stored distance.  On a plain (distance-free) cover every
+    reachable pair reports the stored distance 0; on a closure store
+    reachable pairs report 0 as well — only a distance-aware cover
+    ({!with_dist}) carries real path lengths. *)
+
+val descendants : t -> int -> Hopi_util.Int_hashset.t
+(** Every node reachable from the argument (including itself).  Backward
+    index scans; not served from the label cache. *)
+
+val ancestors : t -> int -> Hopi_util.Int_hashset.t

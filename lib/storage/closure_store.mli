@@ -22,12 +22,17 @@ val open_pager : Pager.t -> t
     @raise Storage_error.Storage_error on a bad catalog. *)
 
 val load : t -> Hopi_graph.Closure.t -> unit
+(** Bulk-insert every connection (and its backward-index row) of a
+    computed closure. *)
 
 val connected : t -> int -> int -> bool
+(** One forward-index probe.  Reflexive for any node the closure saw. *)
 
 val descendants : t -> int -> Hopi_util.Int_hashset.t
+(** Forward-index range scan; includes the node itself. *)
 
 val ancestors : t -> int -> Hopi_util.Int_hashset.t
+(** Backward-index range scan; includes the node itself. *)
 
 val n_connections : t -> int
 

@@ -53,6 +53,18 @@ let add_node t v = ignore (Btree.insert t.nodes (v, 0, 0))
 
 let mem_node t v = Btree.mem t.nodes (v, 0, 0)
 
+let with_dist t = t.with_dist
+
+let iter_nodes t f = Btree.iter_all t.nodes (fun (v, _, _) -> f v)
+
+let iter_lin t v f = Table.iter_by_id t.lin v (fun ~label ~dist -> f ~center:label ~dist)
+
+let iter_lout t u f = Table.iter_by_id t.lout u (fun ~label ~dist -> f ~center:label ~dist)
+
+let iter_in_by_center t w f = Table.iter_by_label t.lin w (fun ~id ~dist -> f ~node:id ~dist)
+
+let iter_out_by_center t w f = Table.iter_by_label t.lout w (fun ~id ~dist -> f ~node:id ~dist)
+
 let insert_in t ~node ~center ~dist =
   if node <> center then begin
     add_node t node;

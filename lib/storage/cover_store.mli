@@ -55,6 +55,33 @@ val insert_out : t -> node:int -> center:int -> dist:int -> unit
 (** {1 Queries} *)
 
 val mem_node : t -> int -> bool
+(** Is this node in the store's node registry?  Nodes are registered by
+    {!load_cover}/{!load_dist_cover}/{!add_node} and by label insertion. *)
+
+val with_dist : t -> bool
+(** [true] when any stored label entry carries a non-zero distance (the
+    DIST column variant of Section 5.1). *)
+
+val iter_nodes : t -> (int -> unit) -> unit
+(** Every registered node id, in ascending order — a full scan of the node
+    registry.  Used by {!Hopi_serve.Snapshot} to freeze the node set in
+    memory at open time. *)
+
+val iter_lin : t -> int -> (center:int -> dist:int -> unit) -> unit
+(** [iter_lin t v f] visits the LIN rows of node [v] — its [Lin] label set
+    — in ascending [(center, dist)] order (a forward-index range scan).
+    The serving layer materialises these scans into cached arrays. *)
+
+val iter_lout : t -> int -> (center:int -> dist:int -> unit) -> unit
+(** [iter_lout t u f]: the LOUT rows of node [u], like {!iter_lin}. *)
+
+val iter_in_by_center : t -> int -> (node:int -> dist:int -> unit) -> unit
+(** [iter_in_by_center t w f] visits every node that names [w] in its [Lin]
+    set, in ascending node order (a backward-index range scan) — the rows
+    enumerated when answering a descendants query through center [w]. *)
+
+val iter_out_by_center : t -> int -> (node:int -> dist:int -> unit) -> unit
+(** Dual of {!iter_in_by_center} for LOUT (ancestors direction). *)
 
 val connected : t -> int -> int -> bool
 

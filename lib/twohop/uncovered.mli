@@ -5,6 +5,8 @@
 type t
 
 val of_closure : Hopi_graph.Closure.t -> t
+(** Start from a full transitive closure: every non-reflexive connection
+    is initially uncovered. *)
 
 val of_pairs : (int * int) list -> t
 (** Non-reflexive pairs only; reflexive input pairs are dropped. *)
@@ -16,6 +18,7 @@ val is_empty : t -> bool
 val mem : t -> int -> int -> bool
 
 val remove : t -> int -> int -> unit
+(** Mark one connection as covered (idempotent). *)
 
 val iter_succ : t -> int -> (int -> unit) -> unit
 (** Uncovered connections leaving a node. *)

@@ -1,0 +1,42 @@
+(* Seeded query workloads (see the interface).  The Zipf sampler inverts
+   the cumulative distribution with a binary search over a precomputed
+   table — O(m) setup, O(log m) per draw, exact for any finite rank
+   count. *)
+
+module Splitmix = Hopi_util.Splitmix
+
+let uniform_pairs ~seed ~nodes ~n =
+  if Array.length nodes = 0 then invalid_arg "Query_gen.uniform_pairs: no nodes";
+  let rng = Splitmix.create seed in
+  Array.init n (fun _ -> (Splitmix.pick rng nodes, Splitmix.pick rng nodes))
+
+let zipf_cdf ~theta m =
+  let cdf = Array.make m 0.0 in
+  let total = ref 0.0 in
+  for rank = 0 to m - 1 do
+    total := !total +. (1.0 /. Float.pow (float_of_int (rank + 1)) theta);
+    cdf.(rank) <- !total
+  done;
+  (* normalise so the last slot is exactly 1 *)
+  let z = !total in
+  Array.map (fun c -> c /. z) cdf
+
+let default_theta = 1.1
+
+let zipf_pairs ~theta ~seed ~nodes ~n =
+  let m = Array.length nodes in
+  if m = 0 then invalid_arg "Query_gen.zipf_pairs: no nodes";
+  if theta <= 0.0 then invalid_arg "Query_gen.zipf_pairs: theta <= 0";
+  let cdf = zipf_cdf ~theta m in
+  let rng = Splitmix.create seed in
+  let draw () =
+    let u = Splitmix.float rng 1.0 in
+    (* first rank whose cumulative mass reaches u *)
+    let lo = ref 0 and hi = ref (m - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cdf.(mid) < u then lo := mid + 1 else hi := mid
+    done;
+    nodes.(!lo)
+  in
+  Array.init n (fun _ -> (draw (), draw ()))

@@ -1,0 +1,30 @@
+(** Deterministic reachability-query workloads for the serving layer.
+
+    Real query traffic is rarely uniform: a few hot elements (landing
+    pages, survey articles, hub publications) attract most probes.  The
+    serving benchmarks therefore measure two source/target distributions
+    over the same node population:
+
+    - {!uniform_pairs} — every node equally likely; the worst case for a
+      label cache (no reuse beyond chance);
+    - {!zipf_pairs} — node ranks drawn from a Zipf law with exponent
+      [theta] ({!default_theta} is the classic web-traffic ballpark); the hot
+      head makes cache hit rates — and therefore warm throughput —
+      representative of skewed production workloads.
+
+    Both are seeded {!Hopi_util.Splitmix} streams: equal seeds yield equal
+    workloads across runs and machines. *)
+
+val uniform_pairs : seed:int -> nodes:int array -> n:int -> (int * int) array
+(** [n] (source, target) pairs drawn uniformly (with replacement) from
+    [nodes].  @raise Invalid_argument on an empty [nodes]. *)
+
+val default_theta : float
+(** 1.1 — mildly skewed, the classic web-traffic ballpark. *)
+
+val zipf_pairs :
+  theta:float -> seed:int -> nodes:int array -> n:int -> (int * int) array
+(** [n] pairs whose source and target ranks are independent Zipf([theta])
+    draws over [nodes] (rank 0 = [nodes.(0)] is the hottest; shuffle the
+    array first if rank order should not follow node order).
+    @raise Invalid_argument on an empty [nodes] or [theta <= 0]. *)

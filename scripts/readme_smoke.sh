@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Run the README's CLI quickstart block, verbatim, so the README cannot
+# drift from the actual CLI again.  Blocks are opted in by placing a
+# `<!-- readme-smoke -->` marker line immediately before a ```sh fence;
+# every such block is extracted and executed with -e in a scratch
+# directory (so corpus/ and *.db artifacts don't litter the checkout).
+set -euo pipefail
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+readme="$repo_root/README.md"
+
+block=$(awk '
+  /<!-- readme-smoke -->/ { grab = 1; next }
+  grab && /^```sh$/ { inblock = 1; next }
+  inblock && /^```$/ { inblock = 0; grab = 0; next }
+  inblock { print }
+' "$readme")
+
+if [ -z "$block" ]; then
+  echo "readme_smoke: no <!-- readme-smoke --> block found in README.md" >&2
+  exit 1
+fi
+
+echo "=== README quickstart block under test ==="
+echo "$block"
+echo "=========================================="
+
+(cd "$repo_root" && dune build bin/hopi_cli.exe)
+cli="$repo_root/_build/default/bin/hopi_cli.exe"
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+cd "$workdir"
+
+# fixture referenced by the block's `query --batch` line
+cat > queries.txt <<'EOF'
+//article//author
+//article//title
+EOF
+
+# the README spells commands as `dune exec bin/hopi_cli.exe -- ...`; run
+# the same binary directly so the block executes in the scratch directory
+while IFS= read -r line; do
+  [ -z "$line" ] && continue
+  cmd=${line//dune exec bin\/hopi_cli.exe --/$cli}
+  echo "+ $cmd"
+  eval "$cmd"
+done <<EOF
+$block
+EOF
+
+echo "readme_smoke: OK"

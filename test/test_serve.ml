@@ -1,0 +1,308 @@
+(* Tests for the serving layer: LRU cache bounds and accounting, sharded
+   thread safety under the domain pool, and — the load-bearing one — a
+   qcheck differential proving that snapshot answers (cached or not, any
+   pool size) are identical to the underlying Cover_store's, query by
+   query, over random digraphs. *)
+
+module Cache = Hopi_serve.Label_cache
+module Snapshot = Hopi_serve.Snapshot
+module Batch = Hopi_serve.Batch
+module Pool = Hopi_util.Pool
+module Counter = Hopi_obs.Counter
+module Gen = QCheck2.Gen
+module Digraph = Hopi_graph.Digraph
+module Closure = Hopi_graph.Closure
+module Builder = Hopi_twohop.Builder
+module Dist_builder = Hopi_twohop.Dist_builder
+module Pager = Hopi_storage.Pager
+module Cover_store = Hopi_storage.Cover_store
+module Ihs = Hopi_util.Int_hashset
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* {1 Label cache} *)
+
+let arr n = Array.make n 7
+
+(* capacity for exactly [n] entries of payload [len] in a 1-shard cache *)
+let capacity_for n len = n * Cache.entry_cost (arr len)
+
+let test_cache_basic () =
+  let c = Cache.create ~shards:1 ~capacity_bytes:(capacity_for 4 10) () in
+  checkb "enabled" true (Cache.enabled c);
+  checkb "miss on empty" true (Cache.find c 1 = None);
+  Cache.add c 1 (arr 10);
+  checkb "hit after add" true (Cache.find c 1 <> None);
+  checki "entries" 1 (Cache.entries c);
+  checki "bytes" (Cache.entry_cost (arr 10)) (Cache.bytes c)
+
+let test_cache_eviction_bound () =
+  let cap = capacity_for 4 10 in
+  let c = Cache.create ~shards:1 ~capacity_bytes:cap () in
+  for k = 0 to 99 do
+    Cache.add c k (arr 10);
+    checkb "within budget" true (Cache.bytes c <= cap)
+  done;
+  checki "entries bounded" 4 (Cache.entries c);
+  (* LRU order: the last four inserted survive *)
+  for k = 96 to 99 do
+    checkb "recent key cached" true (Cache.find c k <> None)
+  done;
+  checkb "old key evicted" true (Cache.find c 0 = None)
+
+let test_cache_promotion () =
+  let c = Cache.create ~shards:1 ~capacity_bytes:(capacity_for 3 10) () in
+  Cache.add c 1 (arr 10);
+  Cache.add c 2 (arr 10);
+  Cache.add c 3 (arr 10);
+  (* touch 1 so it is MRU; adding 4 must evict 2, the LRU *)
+  ignore (Cache.find c 1);
+  Cache.add c 4 (arr 10);
+  checkb "promoted key survives" true (Cache.find c 1 <> None);
+  checkb "LRU key evicted" true (Cache.find c 2 = None);
+  checkb "others survive" true (Cache.find c 3 <> None && Cache.find c 4 <> None)
+
+let test_cache_replace () =
+  let c = Cache.create ~shards:1 ~capacity_bytes:(capacity_for 4 20) () in
+  Cache.add c 1 (arr 10);
+  Cache.add c 1 (arr 20);
+  checki "one entry after replace" 1 (Cache.entries c);
+  checki "replacement cost accounted" (Cache.entry_cost (arr 20)) (Cache.bytes c);
+  match Cache.find c 1 with
+  | Some a -> checki "replacement payload" 20 (Array.length a)
+  | None -> Alcotest.fail "replaced entry missing"
+
+let test_cache_oversize_skipped () =
+  let c = Cache.create ~shards:1 ~capacity_bytes:(capacity_for 2 10) () in
+  Cache.add c 1 (arr 10);
+  Cache.add c 2 (arr 10_000); (* larger than the whole shard: not cached *)
+  checkb "oversize not cached" true (Cache.find c 2 = None);
+  checkb "small entry untouched" true (Cache.find c 1 <> None)
+
+let test_cache_disabled () =
+  let c = Cache.create ~capacity_bytes:0 () in
+  checkb "disabled" false (Cache.enabled c);
+  let h0 = Counter.get (Cache.hits ()) and m0 = Counter.get (Cache.misses ()) in
+  Cache.add c 1 (arr 10);
+  checkb "find misses" true (Cache.find c 1 = None);
+  checki "entries" 0 (Cache.entries c);
+  checki "no hit counted" h0 (Counter.get (Cache.hits ()));
+  checki "no miss counted" m0 (Counter.get (Cache.misses ()))
+
+let test_cache_metrics () =
+  let c = Cache.create ~shards:1 ~capacity_bytes:(capacity_for 2 10) () in
+  let h0 = Counter.get (Cache.hits ())
+  and m0 = Counter.get (Cache.misses ())
+  and e0 = Counter.get (Cache.evictions ()) in
+  ignore (Cache.find c 1); (* miss *)
+  Cache.add c 1 (arr 10);
+  ignore (Cache.find c 1); (* hit *)
+  Cache.add c 2 (arr 10);
+  Cache.add c 3 (arr 10); (* evicts 1 *)
+  checki "one miss" (m0 + 1) (Counter.get (Cache.misses ()));
+  checki "one hit" (h0 + 1) (Counter.get (Cache.hits ()));
+  checki "one eviction" (e0 + 1) (Counter.get (Cache.evictions ()))
+
+(* worker domains hammer a small sharded cache with overlapping keys; the
+   cache must neither crash nor leak past its budget, and every completed
+   add of a still-resident key must return the right payload *)
+let test_cache_pool_safety () =
+  let cap = capacity_for 64 8 in
+  let c = Cache.create ~shards:4 ~capacity_bytes:cap () in
+  Pool.with_pool ~jobs:4 @@ fun pool ->
+  Pool.parallel_iter pool 4_000 (fun i ->
+      let key = i mod 97 in
+      match Cache.find c key with
+      | Some a ->
+        if Array.length a <> key mod 13 then failwith "payload mixed up between keys"
+      | None -> Cache.add c key (Array.make (key mod 13) 0));
+  checkb "bytes within budget" true (Cache.bytes c <= cap);
+  (* at rest, the per-entry costs must re-add to the accounted bytes *)
+  let accounted = ref 0 in
+  for key = 0 to 96 do
+    match Cache.find c key with
+    | Some a -> accounted := !accounted + Cache.entry_cost a
+    | None -> ()
+  done;
+  checki "cost accounting consistent" (Cache.bytes c) !accounted
+
+(* {1 Snapshot vs Cover_store differential} *)
+
+let gen_digraph =
+  let open Gen in
+  int_range 2 24 >>= fun n ->
+  let edge = pair (int_bound (n - 1)) (int_bound (n - 1)) in
+  list_size (int_bound (3 * n)) edge >|= fun edges ->
+  let g = Digraph.create () in
+  for v = 0 to n - 1 do
+    Digraph.add_node g v
+  done;
+  List.iter (fun (u, v) -> if u <> v then Digraph.add_edge g u v) edges;
+  g
+
+(* persist [load] into a fresh temp page file, hand the path to [f] *)
+let with_store_file load f =
+  let path = Filename.temp_file "hopi_test_serve" ".db" in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists path then Sys.remove path;
+      if Sys.file_exists (path ^ "-journal") then Sys.remove (path ^ "-journal"))
+    (fun () ->
+      let pager = Pager.create ~pool_pages:64 ~fsync:false (Pager.File path) in
+      let store = Cover_store.create pager in
+      load store;
+      Cover_store.save store;
+      Pager.close pager;
+      f path)
+
+let sorted_ihs s = List.sort compare (Ihs.to_list s)
+
+(* every (u, v) pair over a node range, plus ids the store never saw *)
+let all_pairs n = List.concat_map (fun u -> List.map (fun v -> (u, v)) (List.init (n + 2) Fun.id)) (List.init (n + 2) Fun.id)
+
+let snapshot_matches_store ~cache_mb g ~dist =
+  let load store =
+    if dist then Cover_store.load_dist_cover store (fst (Dist_builder.build g))
+    else Cover_store.load_cover store (fst (Builder.build (Closure.compute g)))
+  in
+  with_store_file load @@ fun path ->
+  let snap = Snapshot.open_file ~pool_pages:64 ~cache_mb path in
+  Fun.protect ~finally:(fun () -> Snapshot.close snap) @@ fun () ->
+  let pager = Pager.open_existing ~pool_pages:64 path in
+  Fun.protect ~finally:(fun () -> Pager.close pager) @@ fun () ->
+  let store = Cover_store.open_pager pager in
+  checkb "with_dist agrees" true (Snapshot.with_dist snap = Cover_store.with_dist store);
+  checki "n_nodes agrees" (Cover_store.n_nodes store) (Snapshot.n_nodes snap);
+  let n = Digraph.n_nodes g in
+  List.iter
+    (fun (u, v) ->
+      let ctx = Printf.sprintf "(%d,%d) dist=%b cache=%d" u v dist cache_mb in
+      (* twice per pair: the second round hits any cache *)
+      for _ = 1 to 2 do
+        checkb ("mem " ^ ctx) (Cover_store.mem_node store u) (Snapshot.mem_node snap u);
+        checkb ("connected " ^ ctx) (Cover_store.connected store u v)
+          (Snapshot.connected snap u v);
+        check
+          Alcotest.(option int)
+          ("min_distance " ^ ctx)
+          (Cover_store.min_distance store u v)
+          (Snapshot.min_distance snap u v);
+        check
+          Alcotest.(list int)
+          ("descendants " ^ ctx)
+          (sorted_ihs (Cover_store.descendants store u))
+          (sorted_ihs (Snapshot.descendants snap u));
+        check
+          Alcotest.(list int)
+          ("ancestors " ^ ctx)
+          (sorted_ihs (Cover_store.ancestors store v))
+          (sorted_ihs (Snapshot.ancestors snap v))
+      done)
+    (all_pairs n);
+  true
+
+let prop_snapshot_differential =
+  QCheck2.Test.make
+    ~name:"snapshot answers = Cover_store answers (plain + dist, cached + not)"
+    ~count:20 gen_digraph (fun g ->
+      List.for_all
+        (fun (cache_mb, dist) -> snapshot_matches_store ~cache_mb g ~dist)
+        [ (0, false); (4, false); (0, true); (4, true) ])
+
+(* cached parallel batch = uncached sequential batch, byte for byte *)
+let prop_batch_cached_equals_uncached =
+  QCheck2.Test.make
+    ~name:"eval_batch: warm cached pool run renders = cold uncached run"
+    ~count:15 gen_digraph (fun g ->
+      let cover = fst (Builder.build (Closure.compute g)) in
+      with_store_file (fun store -> Cover_store.load_cover store cover)
+      @@ fun path ->
+      let n = Digraph.n_nodes g in
+      let queries =
+        Array.concat
+          [
+            Array.init (n * n) (fun i -> Batch.Reach (i / n, i mod n));
+            Array.init (n * n) (fun i -> Batch.Dist (i / n, i mod n));
+            Array.init n (fun v -> Batch.Desc v);
+            Array.init n (fun v -> Batch.Anc v);
+          ]
+      in
+      let run ~cache_mb ~jobs =
+        let snap = Snapshot.open_file ~pool_pages:64 ~cache_mb path in
+        Fun.protect ~finally:(fun () -> Snapshot.close snap) @@ fun () ->
+        Pool.with_pool ~jobs @@ fun pool ->
+        (* two passes: the second one serves labels from a warm cache *)
+        ignore (Batch.eval_batch ~pool snap queries);
+        Array.map Batch.render (Batch.eval_batch ~pool snap queries)
+      in
+      let cold = run ~cache_mb:0 ~jobs:1 in
+      let warm = run ~cache_mb:8 ~jobs:4 in
+      if cold <> warm then
+        QCheck2.Test.fail_reportf "cached/uncached disagree on %s"
+          (Array.to_list queries
+          |> List.filteri (fun i _ -> cold.(i) <> warm.(i))
+          |> List.map (Format.asprintf "%a" Batch.pp_query)
+          |> String.concat "; ");
+      true)
+
+(* {1 Batch parsing} *)
+
+let test_batch_parse () =
+  let ok line q =
+    match Batch.parse line with
+    | Ok q' -> check Alcotest.string line (Format.asprintf "%a" Batch.pp_query q)
+                 (Format.asprintf "%a" Batch.pp_query q')
+    | Error e -> Alcotest.fail (line ^ ": " ^ e)
+  in
+  ok "reach 1 2" (Batch.Reach (1, 2));
+  ok "  dist  3   4 " (Batch.Dist (3, 4));
+  ok "desc 5" (Batch.Desc 5);
+  ok "anc 6" (Batch.Anc 6);
+  ok "path //article//title" (Batch.Path "//article//title");
+  List.iter
+    (fun line ->
+      match Batch.parse line with
+      | Ok _ -> Alcotest.fail ("should not parse: " ^ line)
+      | Error _ -> ())
+    [ ""; "reach 1"; "reach one two"; "dist 1 2 3"; "flip 1 2"; "path" ]
+
+let test_batch_render () =
+  List.iter
+    (fun (a, s) -> check Alcotest.string s s (Batch.render a))
+    [
+      (Batch.Bool true, "true");
+      (Batch.Bool false, "false");
+      (Batch.Distance None, "unreachable");
+      (Batch.Distance (Some 3), "3");
+      (Batch.Count 7, "7");
+      (Batch.Rendered "12 matches", "12 matches");
+      (Batch.Failed "nope", "error: nope");
+    ]
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suite =
+  [
+    ( "serve.cache",
+      [
+        Alcotest.test_case "basic add/find" `Quick test_cache_basic;
+        Alcotest.test_case "eviction keeps bytes under budget" `Quick
+          test_cache_eviction_bound;
+        Alcotest.test_case "find promotes to MRU" `Quick test_cache_promotion;
+        Alcotest.test_case "replace accounts the new cost" `Quick test_cache_replace;
+        Alcotest.test_case "oversize entries are skipped" `Quick
+          test_cache_oversize_skipped;
+        Alcotest.test_case "capacity 0 disables the cache" `Quick test_cache_disabled;
+        Alcotest.test_case "hit/miss/eviction metrics" `Quick test_cache_metrics;
+        Alcotest.test_case "sharded cache is pool-safe" `Quick test_cache_pool_safety;
+      ] );
+    ( "serve.batch",
+      [
+        Alcotest.test_case "query parsing" `Quick test_batch_parse;
+        Alcotest.test_case "answer rendering" `Quick test_batch_render;
+      ] );
+    ( "serve.differential",
+      qsuite [ prop_snapshot_differential; prop_batch_cached_equals_uncached ] );
+  ]
