@@ -84,7 +84,17 @@ let gen kind docs out =
 
 (* {1 build} *)
 
-let build dir partitioner joiner limit jobs verbose store_path no_fsync metrics_path =
+let write_chrome_trace = function
+  | None -> ()
+  | Some path ->
+    Hopi_obs.Chrome.write path;
+    Fmt.pr "chrome trace (%d events) written to %s — open in ui.perfetto.dev or chrome://tracing@."
+      (Hopi_obs.Chrome.n_events ()) path
+
+let ns_of_ms ms = int_of_float (Float.max 0.0 ms *. 1e6)
+
+let build dir partitioner joiner limit jobs verbose store_path no_fsync metrics_path
+    trace_out =
   setup_logs verbose;
   let c = load_dir dir in
   Fmt.pr "collection: %d docs, %d elements, %d links (%d unresolved references)@."
@@ -112,7 +122,22 @@ let build dir partitioner joiner limit jobs verbose store_path no_fsync metrics_
        (Hopi_storage.Cover_store.n_entries store)
        (Hopi_storage.Pager.n_pages pager) path;
      Hopi_storage.Pager.close pager);
-  write_metrics metrics_path
+  write_metrics metrics_path;
+  write_chrome_trace trace_out
+
+(* {1 trace} *)
+
+(* Build DIR's index and export the span tree as a Chrome trace — the
+   profiling view of the per-phase tables (`build.cover` tasks and the
+   `join.psg.*` phases land on their worker domains' lanes). *)
+let trace dir partitioner joiner limit jobs verbose chrome_out =
+  setup_logs verbose;
+  let c = load_dir dir in
+  let config = config_of_flags partitioner joiner limit jobs in
+  let idx, t = Timer.time (fun () -> Hopi.create ~config c) in
+  Fmt.pr "built %d cover entries in %a (jobs %d)@." (Hopi.size idx) Timer.pp_duration t
+    jobs;
+  write_chrome_trace (Some chrome_out)
 
 (* {1 inspect} *)
 
@@ -233,9 +258,21 @@ let query dir expr_str batch_file top distance jobs metrics_path =
 
 (* {1 serve} *)
 
-let serve store_path jobs cache_mb batch_size pool_pages corpus verbose metrics_path =
+let configure_reqtrace slow_ms slo_p50_ms slo_p95_ms slo_p99_ms =
+  let module Rt = Hopi_obs.Reqtrace in
+  (match slow_ms with
+   | None -> Rt.disable_slowlog ()
+   | Some ms -> Rt.set_slow_threshold_ns (ns_of_ms ms));
+  Hopi_obs.Slo.set_targets Rt.slo
+    ?p50_ns:(Option.map ns_of_ms slo_p50_ms)
+    ?p95_ns:(Option.map ns_of_ms slo_p95_ms)
+    ?p99_ns:(Option.map ns_of_ms slo_p99_ms)
+
+let serve store_path jobs cache_mb batch_size pool_pages corpus verbose metrics_path
+    slow_ms slo_p50_ms slo_p95_ms slo_p99_ms =
   setup_logs verbose;
   let module Serve = Hopi_serve in
+  configure_reqtrace slow_ms slo_p50_ms slo_p95_ms slo_p99_ms;
   let snap = Serve.Snapshot.open_file ~pool_pages ~cache_mb store_path in
   Fmt.epr "serving %s: %s store, %d nodes, %d entries; cache %d MiB, jobs %d, batch %d@."
     store_path
@@ -294,6 +331,13 @@ let serve store_path jobs cache_mb batch_size pool_pages corpus verbose metrics_
                   (Serve.Label_cache.entries (Serve.Snapshot.cache snap))
                   (Serve.Label_cache.bytes (Serve.Snapshot.cache snap))
                   (Serve.Label_cache.capacity_bytes (Serve.Snapshot.cache snap)))
+           else if line = "slowlog" then begin
+             (* evaluate queued queries before snapshotting the log *)
+             drain ();
+             ignore (Hopi_obs.Slo.update Hopi_obs.Reqtrace.slo);
+             print_now
+               (String.trim (Fmt.str "%a" Hopi_obs.Reqtrace.pp_slowlog ()))
+           end
            else
              match Serve.Batch.parse line with
              | Error e -> print_now ("error: " ^ e)
@@ -306,7 +350,104 @@ let serve store_path jobs cache_mb batch_size pool_pages corpus verbose metrics_
       drain ());
   Fmt.epr "served %d queries@." !served;
   Serve.Snapshot.close snap;
+  (* final SLO refresh so the metrics snapshot carries current gauges *)
+  ignore (Hopi_obs.Slo.update Hopi_obs.Reqtrace.slo);
   write_metrics metrics_path
+
+(* {1 slowlog} *)
+
+(* Offline slow-query profiling: run a whole batch file against a stored
+   index with the slowlog capturing every query, then print the slowest
+   ones with their per-request attribution plus a per-kind latency table.
+   [--slow-ms] raises the capture threshold (default 0 = profile all). *)
+let slowlog_run store_path batch_file slow_ms jobs cache_mb top verbose =
+  setup_logs verbose;
+  let module Serve = Hopi_serve in
+  let module Rt = Hopi_obs.Reqtrace in
+  let lines =
+    read_lines batch_file
+    |> List.filter (fun l ->
+           let l = String.trim l in
+           l <> "" && not (String.length l > 0 && l.[0] = '#'))
+  in
+  let queries, parse_errors =
+    List.fold_left
+      (fun (qs, errs) line ->
+        match Serve.Batch.parse line with
+        | Ok q -> (q :: qs, errs)
+        | Error e ->
+          Fmt.epr "skipping %S: %s@." line e;
+          (qs, errs + 1))
+      ([], 0) lines
+  in
+  let queries = Array.of_list (List.rev queries) in
+  if Array.length queries = 0 then failwith "no valid queries in the batch file";
+  Rt.set_slow_threshold_ns (ns_of_ms slow_ms);
+  (* hold every request of this run so "slowest" is global, not newest *)
+  Rt.set_slowlog_capacity (Array.length queries);
+  Fun.protect
+    ~finally:(fun () ->
+      Rt.disable_slowlog ();
+      Rt.set_slowlog_capacity Rt.default_slowlog_capacity)
+  @@ fun () ->
+  let snap = Serve.Snapshot.open_file ~cache_mb store_path in
+  Fun.protect ~finally:(fun () -> Serve.Snapshot.close snap) @@ fun () ->
+  let (_ : Serve.Batch.answer array), t =
+    Timer.time (fun () ->
+        Hopi_util.Pool.with_pool ~jobs (fun pool ->
+            Serve.Batch.eval_batch ~pool snap queries))
+  in
+  ignore (Hopi_obs.Slo.update Rt.slo);
+  Fmt.pr "%d queries in %a (jobs %d, cache %d MiB)%s@." (Array.length queries)
+    Timer.pp_duration t jobs cache_mb
+    (if parse_errors > 0 then Fmt.str "; %d malformed lines skipped" parse_errors
+     else "");
+  (* per-kind latency table straight from the registry histograms *)
+  let rows =
+    List.filter_map
+      (fun m ->
+        match m with
+        | Hopi_obs.Registry.Histogram h ->
+          let name = Hopi_obs.Histogram.name h in
+          let prefix = "hopi_serve_query_kind_" in
+          if String.length name > String.length prefix
+             && String.sub name 0 (String.length prefix) = prefix
+             && Hopi_obs.Histogram.count h > 0
+          then begin
+            let kind =
+              String.sub name (String.length prefix)
+                (String.length name - String.length prefix)
+            in
+            let kind =
+              match String.index_opt kind '_' with
+              | Some i -> String.sub kind 0 i
+              | None -> kind
+            in
+            let s = Hopi_obs.Histogram.summary h in
+            let us v = Fmt.str "%.1f" (v /. 1e3) in
+            Some
+              [ kind; string_of_int s.Hopi_util.Stats.n;
+                us s.Hopi_util.Stats.p50; us s.Hopi_util.Stats.p95;
+                us s.Hopi_util.Stats.p99; us s.Hopi_util.Stats.max ]
+          end
+          else None
+        | _ -> None)
+      (Hopi_obs.Registry.metrics ())
+  in
+  Fmt.pr "@.per-kind latency (this process):@.";
+  List.iter
+    (fun row -> Fmt.pr "  %s@." (String.concat "  " row))
+    ([ "kind"; "count"; "p50us"; "p95us"; "p99us"; "maxus" ] :: rows);
+  let slow =
+    List.sort (fun a b -> compare b.Rt.latency_ns a.Rt.latency_ns) (Rt.slowlog ())
+  in
+  let rec take n = function
+    | x :: rest when n > 0 -> x :: take (n - 1) rest
+    | _ -> []
+  in
+  Fmt.pr "@.slowest %d of %d at/over %.3fms:@." (min top (List.length slow))
+    (List.length slow) slow_ms;
+  List.iter (fun s -> Fmt.pr "%a" Rt.pp_sample s) (take top slow)
 
 (* {1 metrics} *)
 
@@ -353,6 +494,11 @@ let metrics_arg =
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
          ~doc:"Write a JSON snapshot of all metrics and spans to $(docv).")
 
+let trace_out_arg =
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE"
+         ~doc:"Write the span tree as a Chrome trace-event file to $(docv) \
+               (open in ui.perfetto.dev or chrome://tracing).")
+
 let limit_arg =
   let doc = "Partition limit (elements for random, connections for closure)." in
   Arg.(value & opt int 100_000 & info [ "limit" ] ~doc)
@@ -383,7 +529,7 @@ let build_cmd =
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log progress.") in
   Cmd.v (Cmd.info "build" ~doc:"Build the HOPI index and print statistics")
     Term.(const build $ dir_arg $ partitioner_arg $ joiner_arg $ limit_arg
-          $ jobs $ verbose $ store $ no_fsync $ metrics_arg)
+          $ jobs $ verbose $ store $ no_fsync $ metrics_arg $ trace_out_arg)
 
 let jobs_arg =
   Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
@@ -430,12 +576,27 @@ let serve_cmd =
                  $(b,path EXPR) queries can be served.")
   in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log progress.") in
+  let slow_ms =
+    Arg.(value & opt (some float) None & info [ "slow-ms" ] ~docv:"MS"
+           ~doc:"Record queries taking at least $(docv) milliseconds into the \
+                 slow-query log (0 records every query); dump it with the \
+                 $(b,slowlog) input command.")
+  in
+  let slo_ms which =
+    Arg.(value & opt (some float) None
+         & info [ Printf.sprintf "slo-%s-ms" which ] ~docv:"MS"
+             ~doc:(Printf.sprintf
+                     "Latency SLO: target %s of per-query service time, in \
+                      milliseconds (published as hopi_slo_serve_query_* gauges)."
+                     which))
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Serve reach/dist/desc/anc/path queries over a stored index \
              (line-oriented stdin/stdout loop; see docs/OPERATIONS.md)")
     Term.(const serve $ store $ jobs $ cache_mb $ batch $ pool_pages $ corpus
-          $ verbose $ metrics_arg)
+          $ verbose $ metrics_arg $ slow_ms $ slo_ms "p50" $ slo_ms "p95"
+          $ slo_ms "p99")
 
 let metrics_cmd =
   let dir = Arg.(value & pos 0 (some dir) None & info [] ~docv:"DIR") in
@@ -457,6 +618,55 @@ let inspect_cmd =
   Cmd.v (Cmd.info "inspect" ~doc:"Print statistics of a stored index file")
     Term.(const inspect $ file)
 
+let trace_cmd =
+  let jobs =
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Worker domains for the traced build.")
+  in
+  let chrome =
+    Arg.(required & opt (some string) None & info [ "chrome" ] ~docv:"FILE"
+           ~doc:"Output path of the Chrome trace-event JSON.")
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log progress.") in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Build DIR's index and export the span tree as a Chrome trace \
+             (profile the build phases visually in Perfetto)")
+    Term.(const trace $ dir_arg $ partitioner_arg $ joiner_arg $ limit_arg $ jobs
+          $ verbose $ chrome)
+
+let slowlog_cmd =
+  let store = Arg.(required & pos 0 (some file) None & info [] ~docv:"STORE") in
+  let batch =
+    Arg.(required & opt (some file) None & info [ "batch" ] ~docv:"FILE"
+           ~doc:"Serve-protocol queries to profile, one per line ($(b,#) \
+                 comments allowed).")
+  in
+  let slow_ms =
+    Arg.(value & opt float 0.0 & info [ "slow-ms" ] ~docv:"MS"
+           ~doc:"Only capture queries at or over $(docv) milliseconds \
+                 (default 0: capture everything).")
+  in
+  let jobs =
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Worker domains for batch evaluation.")
+  in
+  let cache_mb =
+    Arg.(value & opt int 64 & info [ "cache-mb" ] ~docv:"MB"
+           ~doc:"Label-cache budget in MiB; 0 profiles the cold path.")
+  in
+  let top =
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"N"
+           ~doc:"Slow queries to print, slowest first.")
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log progress.") in
+  Cmd.v
+    (Cmd.info "slowlog"
+       ~doc:"Run a query batch against a stored index and print the slowest \
+             queries with per-request cache/label/pager attribution")
+    Term.(const slowlog_run $ store $ batch $ slow_ms $ jobs $ cache_mb $ top
+          $ verbose)
+
 let verify_store_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   let verbose =
@@ -474,4 +684,4 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "hopi" ~doc)
           [ gen_cmd; build_cmd; query_cmd; serve_cmd; check_cmd; inspect_cmd; verify_store_cmd;
-            metrics_cmd ]))
+            metrics_cmd; trace_cmd; slowlog_cmd ]))

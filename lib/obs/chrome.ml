@@ -1,0 +1,84 @@
+(* Chrome trace-event exporter over the span tree.
+
+   Emits the JSON Array/Object format understood by chrome://tracing and
+   Perfetto (ui.perfetto.dev): one complete event (ph "X") per span, with
+   [ts]/[dur] in microseconds relative to the earliest recorded root, the
+   opening domain as the thread lane, and the span's counters in [args].
+   Nesting is positional — Perfetto stacks events on the same lane by
+   their time ranges, which is exactly what the hierarchical span tree
+   encodes — so the 3.2s [join.psg.apply] phase shows up as a visually
+   inspectable flame chart instead of a printed table.
+
+   Schema per event:
+     {"name":S,"cat":"hopi","ph":"X","ts":F,"dur":F,"pid":1,"tid":N,
+      "args":{"exclusive_us":F,<counter>:N,...}}
+   plus one metadata event (ph "M") naming the process and each lane. *)
+
+let pid = 1
+
+let add_us b ns =
+  (* microseconds with nanosecond resolution; always finite *)
+  Buffer.add_string b (Printf.sprintf "%.3f" (float_of_int ns /. 1e3))
+
+let rec emit_span b ~base first (sp : Trace.span) =
+  if not !first then Buffer.add_char b ',';
+  first := false;
+  Buffer.add_string b {|{"name":|};
+  Export.escape_string b sp.Trace.name;
+  Buffer.add_string b {|,"cat":"hopi","ph":"X","ts":|};
+  add_us b (sp.Trace.start_ns - base);
+  Buffer.add_string b {|,"dur":|};
+  add_us b sp.Trace.duration_ns;
+  Buffer.add_string b (Printf.sprintf {|,"pid":%d,"tid":%d,"args":{"exclusive_us":|} pid sp.Trace.tid);
+  add_us b (Trace.exclusive_ns sp);
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char b ',';
+      Export.escape_string b k;
+      Buffer.add_char b ':';
+      Buffer.add_string b (string_of_int v))
+    (Trace.counters sp);
+  Buffer.add_string b "}}";
+  List.iter (emit_span b ~base first) (Trace.children sp)
+
+let emit_metadata b first ~tid ~meta_name ~value =
+  if not !first then Buffer.add_char b ',';
+  first := false;
+  Buffer.add_string b
+    (Printf.sprintf {|{"name":"%s","ph":"M","pid":%d,"tid":%d,"args":{"name":|} meta_name pid tid);
+  Export.escape_string b value;
+  Buffer.add_string b "}}"
+
+let rec span_tids acc (sp : Trace.span) =
+  let acc = if List.mem sp.Trace.tid acc then acc else sp.Trace.tid :: acc in
+  List.fold_left span_tids acc (Trace.children sp)
+
+let to_json () =
+  let roots = Trace.roots () in
+  let base =
+    List.fold_left (fun acc sp -> min acc sp.Trace.start_ns) max_int roots
+  in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b {|{"traceEvents":[|};
+  let first = ref true in
+  emit_metadata b first ~tid:0 ~meta_name:"process_name" ~value:"hopi";
+  List.iter
+    (fun tid ->
+      emit_metadata b first ~tid ~meta_name:"thread_name"
+        ~value:(Printf.sprintf "domain %d" tid))
+    (List.sort compare (List.fold_left span_tids [] roots));
+  List.iter (emit_span b ~base first) roots;
+  Buffer.add_string b {|],"displayTimeUnit":"ms"}|};
+  Buffer.contents b
+
+let n_events () =
+  let rec count sp = 1 + List.fold_left (fun acc c -> acc + count c) 0 (Trace.children sp) in
+  List.fold_left (fun acc sp -> acc + count sp) 0 (Trace.roots ())
+
+let write path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_json ());
+      output_char oc '\n')

@@ -40,8 +40,11 @@ let escape_string b s =
     s;
   Buffer.add_char b '"'
 
+(* JSON has no nan/inf literal — "%g" would emit them verbatim and break
+   every consumer, so non-finite values degrade to [null]. *)
 let add_float b f =
-  if Float.is_integer f && Float.abs f < 1e15 then
+  if not (Float.is_finite f) then Buffer.add_string b "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then
     Buffer.add_string b (Printf.sprintf "%.1f" f)
   else Buffer.add_string b (Printf.sprintf "%.6g" f)
 
@@ -135,10 +138,24 @@ let write_json path =
 
 (* {1 Prometheus text exposition format} *)
 
+(* HELP text is a single line in the exposition format: backslashes and
+   newlines must be escaped or the metric that follows is unparsable. *)
+let escape_help s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
 let prometheus () =
   let b = Buffer.create 4096 in
   let header name help kind =
-    if help <> "" then Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name help);
+    if help <> "" then
+      Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name (escape_help help));
     Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name kind)
   in
   List.iter

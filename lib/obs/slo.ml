@@ -1,0 +1,73 @@
+(* Latency SLOs over a histogram.
+
+   An SLO couples a duration histogram with configurable p50/p95/p99
+   targets and publishes both sides as gauges, so a scrape (or a
+   BENCH_*.json diff) can see observed-vs-target at a glance:
+
+     hopi_slo_<name>_p50_ns / _p95_ns / _p99_ns          observed
+     hopi_slo_<name>_p50_target_ns / ...                 configured (0 = unset)
+     hopi_slo_<name>_ok                                  1 iff every set target holds
+     hopi_slo_<name>_breaches_total                      updates that found a miss
+
+   [update] recomputes the digest from the histogram; callers decide the
+   cadence (Reqtrace refreshes every few hundred requests and at dump
+   time, so the gauges are cheap to keep and never scanned per query). *)
+
+type t = {
+  name : string;
+  hist : Histogram.t;
+  observed : Gauge.t array; (* p50, p95, p99 *)
+  targets : Gauge.t array; (* same order; 0 = no target configured *)
+  g_ok : Gauge.t;
+  m_breaches : Counter.t;
+}
+
+let percentile_labels = [| "p50"; "p95"; "p99" |]
+
+let create ~name ~hist =
+  let g suffix help = Registry.gauge (Printf.sprintf "hopi_slo_%s_%s" name suffix) ~help in
+  {
+    name;
+    hist;
+    observed =
+      Array.map
+        (fun p -> g (p ^ "_ns") (Printf.sprintf "Observed %s latency" p))
+        percentile_labels;
+    targets =
+      Array.map
+        (fun p -> g (p ^ "_target_ns") (Printf.sprintf "Configured %s latency target (0 = unset)" p))
+        percentile_labels;
+    g_ok = g "ok" "1 when every configured latency target holds, else 0";
+    m_breaches =
+      Registry.counter
+        (Printf.sprintf "hopi_slo_%s_breaches_total" name)
+        ~help:"SLO updates that found at least one latency target missed";
+  }
+
+let name t = t.name
+
+let set_targets ?p50_ns ?p95_ns ?p99_ns t =
+  let set i = function None -> () | Some ns -> Gauge.set t.targets.(i) (max 0 ns) in
+  set 0 p50_ns;
+  set 1 p95_ns;
+  set 2 p99_ns
+
+(* Recompute observed percentiles and the ok/breach verdict.  An empty
+   histogram meets every target (there is nothing to be slow yet).
+   Returns whether all configured targets hold. *)
+let update t =
+  let s = Histogram.summary t.hist in
+  let observed = [| s.Hopi_util.Stats.p50; s.Hopi_util.Stats.p95; s.Hopi_util.Stats.p99 |] in
+  let ok = ref true in
+  Array.iteri
+    (fun i v ->
+      let v = if Float.is_finite v then int_of_float v else 0 in
+      Gauge.set t.observed.(i) v;
+      let target = Gauge.get t.targets.(i) in
+      if target > 0 && s.Hopi_util.Stats.n > 0 && v > target then ok := false)
+    observed;
+  Gauge.set t.g_ok (if !ok then 1 else 0);
+  if not !ok then Counter.incr t.m_breaches;
+  !ok
+
+let met t = Gauge.get t.g_ok = 1

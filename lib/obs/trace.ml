@@ -18,6 +18,8 @@
 
 type span = {
   name : string;
+  start_ns : int; (* monotonic clock at open; Chrome-trace [ts] source *)
+  tid : int; (* opening domain's id; Chrome-trace lane *)
   mutable duration_ns : int;
   mutable counters : (string * int) list; (* accumulated; unordered *)
   mutable children : span list; (* reverse completion order while open *)
@@ -29,9 +31,40 @@ let roots_mu = Mutex.create ()
 
 let completed_roots : span list ref = ref []
 
+(* Root retention is bounded so a long-running server cannot grow span
+   memory without limit: past the cap the oldest completed roots are
+   dropped (and counted).  Open spans and children are never touched. *)
+let default_max_roots = 512
+
+let max_roots = ref default_max_roots
+
+let n_roots = ref 0
+
+let n_dropped = ref 0
+
+let set_max_roots n = Mutex.protect roots_mu (fun () -> max_roots := max 1 n)
+
+let dropped () = Mutex.protect roots_mu (fun () -> !n_dropped)
+
+(* keep the newest [n] of a newest-first list — caller holds [roots_mu] *)
+let truncate_roots n =
+  if !n_roots > n then begin
+    let rec take k = function
+      | x :: rest when k > 0 -> x :: take (k - 1) rest
+      | _ -> []
+    in
+    completed_roots := take n !completed_roots;
+    n_dropped := !n_dropped + (!n_roots - n);
+    n_roots := n
+  end
+
 let with_span name f =
   let stack = Domain.DLS.get stack_key in
-  let sp = { name; duration_ns = 0; counters = []; children = [] } in
+  let sp =
+    { name; start_ns = Int64.to_int (Hopi_util.Timer.now_ns ());
+      tid = (Domain.self () :> int); duration_ns = 0; counters = [];
+      children = [] }
+  in
   stack := sp :: !stack;
   let t0 = Hopi_util.Timer.start () in
   Fun.protect f ~finally:(fun () ->
@@ -44,6 +77,8 @@ let with_span name f =
       | [] ->
         Mutex.lock roots_mu;
         completed_roots := sp :: !completed_roots;
+        incr n_roots;
+        truncate_roots !max_roots;
         Mutex.unlock roots_mu)
 
 let add key n =
@@ -75,12 +110,14 @@ let roots () =
   Mutex.unlock roots_mu;
   r
 
-(* Drop completed roots.  Call between experiments, outside any open span
-   (open spans on any domain are unaffected but will complete into the new
-   epoch). *)
+(* Drop completed roots (and the drop statistics).  Call between
+   experiments, outside any open span (open spans on any domain are
+   unaffected but will complete into the new epoch). *)
 let reset () =
   Mutex.lock roots_mu;
   completed_roots := [];
+  n_roots := 0;
+  n_dropped := 0;
   Mutex.unlock roots_mu
 
 let rec pp_span ?(indent = 0) ppf sp =

@@ -20,8 +20,8 @@ let m_failed =
   Registry.counter "hopi_serve_query_failures_total"
     ~help:"Queries answered with an error"
 
-let h_query_ns =
-  Registry.histogram "hopi_serve_query_duration_ns" ~help:"Per-query service time"
+(* the per-query histogram [hopi_serve_query_duration_ns] is owned by
+   [Hopi_obs.Reqtrace], which observes it from [finish] *)
 
 let h_batch_ns =
   Registry.histogram "hopi_serve_batch_duration_ns" ~help:"Per-batch service time"
@@ -95,15 +95,30 @@ let eval_unmetered ?path_eval snap q =
     | None -> Failed "path queries need a corpus (serve --corpus DIR)"
     | Some f -> ( match f expr with Ok s -> Rendered s | Error e -> Failed e))
 
+let kind_of = function
+  | Reach _ -> "reach"
+  | Dist _ -> "dist"
+  | Desc _ -> "desc"
+  | Anc _ -> "anc"
+  | Path _ -> "path"
+
+(* Reqtrace assigns the request id, computes the latency, attributes the
+   domain-local cache/label/pager deltas, feeds the per-kind histograms
+   and the overall [h_query_ns] (same registry instance), and records a
+   slowlog sample when the request is at or over the threshold.  The
+   query/answer thunks only run for slowlogged requests. *)
 let eval ?path_eval snap q =
   Counter.incr m_queries;
-  let t0 = Timer.start () in
+  let tok = Hopi_obs.Reqtrace.start () in
   let a =
     match eval_unmetered ?path_eval snap q with
     | a -> a
     | exception e -> Failed (Printexc.to_string e)
   in
-  Histogram.observe h_query_ns (Int64.to_int (Timer.elapsed_ns t0));
+  ignore
+    (Hopi_obs.Reqtrace.finish tok ~kind:(kind_of q)
+       ~query:(fun () -> Format.asprintf "%a" pp_query q)
+       ~answer:(fun () -> render a));
   (match a with Failed _ -> Counter.incr m_failed | _ -> ());
   a
 

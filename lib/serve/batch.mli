@@ -23,7 +23,12 @@
     Metrics: [hopi_serve_queries_total], [hopi_serve_batches_total],
     [hopi_serve_query_duration_ns], [hopi_serve_batch_duration_ns] and the
     [hopi_serve_throughput_qps] gauge (queries per second of the last
-    batch). *)
+    batch).  Every query additionally runs under a
+    {!Hopi_obs.Reqtrace} request: per-kind latency histograms
+    ([hopi_serve_query_kind_<kind>_duration_ns]), the [serve_query] SLO
+    gauges, and — when a slow-query threshold is configured — a
+    ring-buffered slow-query log attributing label-cache hits/misses,
+    label probes and pager reads to the individual request. *)
 
 type query =
   | Reach of int * int

@@ -121,11 +121,13 @@ let find t key =
         match Hashtbl.find_opt s.tbl key with
         | Some e ->
           Counter.incr m_hits;
+          Hopi_obs.Reqtrace.Local.note_cache_hit ();
           unlink s e;
           push_front s e;
           Some e.value
         | None ->
           Counter.incr m_misses;
+          Hopi_obs.Reqtrace.Local.note_cache_miss ();
           None)
   end
 

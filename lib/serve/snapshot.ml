@@ -103,6 +103,7 @@ type dir = Lin | Lout
 let cache_key dir v = (v lsl 1) lor (match dir with Lout -> 0 | Lin -> 1)
 
 let labels t st dir v =
+  Hopi_obs.Reqtrace.Local.note_label_probe ();
   let key = cache_key dir v in
   match Label_cache.find t.cache key with
   | Some arr -> arr

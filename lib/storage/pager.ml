@@ -210,6 +210,9 @@ let write_back t id page =
 let read_from_store t id =
   t.disk_reads <- t.disk_reads + 1;
   Counter.incr m_page_reads;
+  (* per-request attribution: the serving layer snapshots this domain's
+     cell around each query (see Hopi_obs.Reqtrace) *)
+  Hopi_obs.Reqtrace.Local.note_pager_read ();
   let page = Page.create () in
   ignore (Vfs.read_full t.file page ~off:(id * Page.size) ~pos:0 ~len:Page.size);
   (match Page.verify page with

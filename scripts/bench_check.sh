@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Bench regression gate: compare a BENCH_*.json metrics snapshot against a
+# committed baseline.
+#
+#   scripts/bench_check.sh BASELINE.json CURRENT.json [PREFIX]
+#
+# Only gauges whose name starts with PREFIX (default "bench_") take part —
+# those are the series the bench harness publishes on purpose; raw
+# hopi_* operational metrics vary too much run to run to gate on.
+#
+# A series fails when it moves more than BENCH_TOLERANCE_PCT (default 20)
+# percent in its bad direction.  Direction is inferred from the name:
+# durations and sizes (_ns/_us/_ms/_seconds/_duration/_latency/_bytes)
+# regress when they grow, everything else (qps, speedup percentages)
+# regresses when it shrinks.  A baseline series missing from the current
+# run is a failure; a current series missing from the baseline is only
+# reported (new series need a baseline refresh, not a red build).
+#
+# Exit codes: 0 ok, 1 regression (or baseline series lost), 2 usage /
+# no comparable series.
+set -euo pipefail
+
+if [ $# -lt 2 ] || [ $# -gt 3 ]; then
+  echo "usage: $0 BASELINE.json CURRENT.json [PREFIX]" >&2
+  exit 2
+fi
+
+BASELINE=$1 CURRENT=$2 PREFIX=${3:-bench_} \
+TOLERANCE=${BENCH_TOLERANCE_PCT:-20} \
+python3 - <<'PYEOF'
+import json, os, sys
+
+baseline_path = os.environ["BASELINE"]
+current_path = os.environ["CURRENT"]
+prefix = os.environ["PREFIX"]
+tolerance = float(os.environ["TOLERANCE"])
+
+def gauges(path):
+    with open(path) as f:
+        metrics = json.load(f)["metrics"]
+    return {
+        name: m["value"]
+        for name, m in metrics.items()
+        if name.startswith(prefix) and m.get("type") == "gauge"
+    }
+
+base = gauges(baseline_path)
+cur = gauges(current_path)
+
+if not base:
+    print(f"error: no '{prefix}*' gauges in baseline {baseline_path}", file=sys.stderr)
+    sys.exit(2)
+
+# higher-is-worse series: durations and sizes
+COST_MARKERS = ("_ns", "_us", "_ms", "_seconds", "_duration", "_latency", "_bytes")
+
+def higher_is_worse(name):
+    return any(marker in name for marker in COST_MARKERS)
+
+failures = []
+rows = []
+for name in sorted(base):
+    want_low = higher_is_worse(name)
+    b = base[name]
+    if name not in cur:
+        rows.append((name, b, None, None, "MISSING"))
+        failures.append(f"{name}: present in baseline, missing from current run")
+        continue
+    c = cur[name]
+    if b == 0:
+        # can't compute a ratio; only fail if a zero-cost series grew
+        delta_pct = float("inf") if c != 0 else 0.0
+        regressed = want_low and c > 0
+    else:
+        delta_pct = (c - b) / abs(b) * 100.0
+        regressed = delta_pct > tolerance if want_low else delta_pct < -tolerance
+    rows.append((name, b, c, delta_pct, "FAIL" if regressed else "ok"))
+    if regressed:
+        direction = "above" if want_low else "below"
+        failures.append(
+            f"{name}: {c:g} vs baseline {b:g} ({delta_pct:+.1f}%, "
+            f"tolerance {tolerance:g}% {direction})")
+
+new_series = sorted(set(cur) - set(base))
+
+width = max((len(r[0]) for r in rows), default=4)
+print(f"bench gate: {len(rows)} series, tolerance {tolerance:g}% (prefix '{prefix}')")
+for name, b, c, delta, verdict in rows:
+    cur_s = "—" if c is None else f"{c:14.4g}"
+    delta_s = "" if delta is None else f"{delta:+8.1f}%"
+    print(f"  {name:<{width}}  base {b:14.4g}  cur {cur_s}  {delta_s}  {verdict}")
+for name in new_series:
+    print(f"  {name:<{width}}  (new series, not in baseline — refresh the baseline to gate it)")
+
+if failures:
+    print()
+    for f in failures:
+        print(f"REGRESSION: {f}")
+    sys.exit(1)
+print("bench gate: ok")
+PYEOF

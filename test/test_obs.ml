@@ -384,6 +384,321 @@ let test_multi_domain_timing () =
   Alcotest.(check int) "summary n" total s.Hopi_util.Stats.n;
   Alcotest.(check (float 1e-9)) "summary mean" 2.0 s.Hopi_util.Stats.mean
 
+(* {1 Exporter hardening} *)
+
+let test_add_float_nonfinite () =
+  let render f =
+    let b = Buffer.create 16 in
+    Export.add_float b f;
+    Buffer.contents b
+  in
+  Alcotest.(check string) "nan" "null" (render Float.nan);
+  Alcotest.(check string) "+inf" "null" (render Float.infinity);
+  Alcotest.(check string) "-inf" "null" (render Float.neg_infinity);
+  Alcotest.(check string) "integer-valued" "2.0" (render 2.0);
+  Alcotest.(check string) "fractional" "2.5" (render 2.5);
+  (* a span with non-finite derived values must still export as JSON *)
+  validate_json (Printf.sprintf "[%s, %s]" (render Float.nan) (render 0.25))
+
+(* {1 Trace retention} *)
+
+let test_trace_retention () =
+  Trace.reset ();
+  Trace.set_max_roots 4;
+  Fun.protect ~finally:(fun () ->
+      Trace.set_max_roots Trace.default_max_roots;
+      Trace.reset ())
+  @@ fun () ->
+  for i = 1 to 10 do
+    Trace.with_span (Printf.sprintf "retention_%d" i) (fun () -> ())
+  done;
+  let roots = Trace.roots () in
+  Alcotest.(check int) "bounded at cap" 4 (List.length roots);
+  (* drop-oldest: the survivors are the newest four, oldest-first *)
+  Alcotest.(check (list string))
+    "newest roots survive"
+    [ "retention_7"; "retention_8"; "retention_9"; "retention_10" ]
+    (List.map (fun sp -> sp.Trace.name) roots);
+  Alcotest.(check int) "drops counted" 6 (Trace.dropped ());
+  Trace.reset ();
+  Alcotest.(check int) "reset clears roots" 0 (List.length (Trace.roots ()));
+  Alcotest.(check int) "reset clears drop count" 0 (Trace.dropped ())
+
+(* {1 Chrome trace exporter} *)
+
+module Chrome = Hopi_obs.Chrome
+
+let test_chrome_trace_schema () =
+  Trace.reset ();
+  Trace.with_span "chrome.root" (fun () ->
+      Trace.add "items" 3;
+      Trace.with_span "chrome.child \"quoted\\path\"" (fun () ->
+          Trace.add "nested" 1);
+      Trace.with_span "chrome.child2" (fun () -> ()));
+  Trace.with_span "chrome.second_root" (fun () -> ());
+  let json = Chrome.to_json () in
+  validate_json json;
+  (* trace-event schema essentials: the traceEvents array, complete
+     ("X") events carrying ts/dur in microseconds, and thread metadata
+     ("M") naming the domain lanes *)
+  Alcotest.(check bool) "traceEvents array" true (contains json {|"traceEvents":[|});
+  Alcotest.(check bool) "display unit" true (contains json {|"displayTimeUnit":"ms"|});
+  Alcotest.(check bool) "complete events" true (contains json {|"ph":"X"|});
+  Alcotest.(check bool) "metadata events" true (contains json {|"ph":"M"|});
+  Alcotest.(check bool) "process name" true (contains json {|"process_name"|});
+  Alcotest.(check bool) "timestamps" true (contains json {|"ts":|});
+  Alcotest.(check bool) "durations" true (contains json {|"dur":|});
+  Alcotest.(check bool) "category" true (contains json {|"cat":"hopi"|});
+  Alcotest.(check bool) "span names survive escaping" true
+    (contains json {|"name":"chrome.child \"quoted\\path\""|});
+  Alcotest.(check bool) "counters in args" true (contains json {|"items":3|});
+  Alcotest.(check bool) "exclusive time in args" true (contains json {|"exclusive_us":|});
+  (* the earliest root anchors the timeline at ts 0 *)
+  Alcotest.(check bool) "timeline starts at 0" true (contains json {|"ts":0.000|});
+  let occurrences needle =
+    let count = ref 0 and i = ref 0 in
+    let n = String.length json and nn = String.length needle in
+    while !i + nn <= n do
+      if String.sub json !i nn = needle then incr count;
+      incr i
+    done;
+    !count
+  in
+  Alcotest.(check int) "n_events counts the span events" (Chrome.n_events ())
+    (occurrences {|"ph":"X"|});
+  (* one process_name plus one thread_name per distinct domain lane *)
+  Alcotest.(check bool) "metadata lanes" true (occurrences {|"ph":"M"|} >= 2);
+  Trace.reset ()
+
+(* {1 Request tracing (Reqtrace)} *)
+
+module Reqtrace = Hopi_obs.Reqtrace
+module Slo = Hopi_obs.Slo
+
+(* restores global slowlog state so later suites start clean *)
+let with_reqtrace_defaults f =
+  Fun.protect
+    ~finally:(fun () ->
+      Reqtrace.disable_slowlog ();
+      Reqtrace.set_slowlog_capacity Reqtrace.default_slowlog_capacity)
+    f
+
+let finish_trivial tok i =
+  ignore
+    (Reqtrace.finish tok ~kind:"reach"
+       ~query:(fun () -> Printf.sprintf "reach %d %d" i (i + 1))
+       ~answer:(fun () -> "true"))
+
+let test_reqtrace_attribution () =
+  with_reqtrace_defaults @@ fun () ->
+  Reqtrace.set_slow_threshold_ns 0;
+  Reqtrace.reset_slowlog ();
+  let tok = Reqtrace.start () in
+  Reqtrace.Local.note_cache_hit ();
+  Reqtrace.Local.note_cache_miss ();
+  Reqtrace.Local.note_cache_miss ();
+  Reqtrace.Local.note_label_probe ();
+  for _ = 1 to 3 do
+    Reqtrace.Local.note_pager_read ()
+  done;
+  let latency =
+    Reqtrace.finish tok ~kind:"dist"
+      ~query:(fun () -> "dist 1 2")
+      ~answer:(fun () -> "unreachable")
+  in
+  Alcotest.(check bool) "latency measured" true (latency >= 0);
+  match Reqtrace.slowlog () with
+  | [] -> Alcotest.fail "slowlog empty at threshold 0"
+  | s :: _ ->
+    Alcotest.(check string) "kind" "dist" s.Reqtrace.kind;
+    Alcotest.(check string) "query" "dist 1 2" s.Reqtrace.query;
+    Alcotest.(check string) "answer" "unreachable" s.Reqtrace.answer;
+    Alcotest.(check int) "cache hits attributed" 1 s.Reqtrace.cache_hits;
+    Alcotest.(check int) "cache misses attributed" 2 s.Reqtrace.cache_misses;
+    Alcotest.(check int) "label probes attributed" 1 s.Reqtrace.labels_probed;
+    Alcotest.(check int) "pager reads attributed" 3 s.Reqtrace.pager_reads;
+    Alcotest.(check bool) "per-kind histogram fed" true
+      (Histogram.count
+         (Registry.histogram "hopi_serve_query_kind_dist_duration_ns")
+       >= 1);
+    let dump = Format.asprintf "%a" Reqtrace.pp_slowlog () in
+    Alcotest.(check bool) "dump shows the query" true (contains dump "dist 1 2");
+    Alcotest.(check bool) "dump shows attribution" true
+      (contains dump "2 misses \xc2\xb7 1 label set probed \xc2\xb7 3 page reads")
+
+let test_reqtrace_ring () =
+  with_reqtrace_defaults @@ fun () ->
+  Reqtrace.set_slow_threshold_ns 0;
+  Reqtrace.set_slowlog_capacity 4;
+  for i = 1 to 10 do
+    finish_trivial (Reqtrace.start ()) i
+  done;
+  let entries = Reqtrace.slowlog () in
+  Alcotest.(check int) "ring bounded" 4 (List.length entries);
+  Alcotest.(check int) "all pushes counted" 10 (Reqtrace.slowlog_total ());
+  (* drop-oldest: newest-first ids strictly descending, newest on top *)
+  let ids = List.map (fun s -> s.Reqtrace.id) entries in
+  Alcotest.(check bool) "ids descending" true
+    (List.for_all2 ( > ) (List.filteri (fun i _ -> i < 3) ids) (List.tl ids));
+  let queries = List.map (fun s -> s.Reqtrace.query) entries in
+  Alcotest.(check (list string)) "newest four survive"
+    [ "reach 10 11"; "reach 9 10"; "reach 8 9"; "reach 7 8" ]
+    queries;
+  Reqtrace.reset_slowlog ();
+  Alcotest.(check int) "reset empties ring" 0 (List.length (Reqtrace.slowlog ()));
+  (* above-threshold requests are the only ones recorded *)
+  Reqtrace.set_slow_threshold_ns max_int;
+  finish_trivial (Reqtrace.start ()) 99;
+  Alcotest.(check int) "fast queries skip the ring" 0
+    (List.length (Reqtrace.slowlog ()))
+
+let test_slo () =
+  let hist = Registry.histogram "test_obs_slo_hist" ~help:"test" in
+  Histogram.reset hist;
+  let slo = Slo.create ~name:"test_obs" ~hist in
+  Alcotest.(check string) "name" "test_obs" (Slo.name slo);
+  (* empty histogram meets every target *)
+  Slo.set_targets ~p50_ns:1 ~p95_ns:1 ~p99_ns:1 slo;
+  Alcotest.(check bool) "empty histogram ok" true (Slo.update slo);
+  (* all observations over a tiny target: breach *)
+  for _ = 1 to 100 do
+    Histogram.observe hist 1_000_000
+  done;
+  Alcotest.(check bool) "tiny targets breached" false (Slo.update slo);
+  Alcotest.(check bool) "met reflects breach" false (Slo.met slo);
+  Alcotest.(check bool) "breach counted" true
+    (Counter.get (Registry.counter "hopi_slo_test_obs_breaches_total") >= 1);
+  Alcotest.(check bool) "observed p95 published" true
+    (Gauge.get (Registry.gauge "hopi_slo_test_obs_p95_ns") >= 1_000_000);
+  (* generous targets: ok again *)
+  Slo.set_targets ~p50_ns:max_int ~p95_ns:max_int ~p99_ns:max_int slo;
+  Alcotest.(check bool) "generous targets hold" true (Slo.update slo);
+  Alcotest.(check bool) "met reflects ok" true (Slo.met slo);
+  Alcotest.(check int) "ok gauge" 1 (Gauge.get (Registry.gauge "hopi_slo_test_obs_ok"))
+
+(* {1 Prometheus exposition-format lint}
+
+   A sequential pass over [Export.prometheus ()] checking the structure a
+   scraper relies on: [# HELP] immediately followed by its [# TYPE], legal
+   metric-name charset, known metric kinds, and every sample grouped under
+   the [# TYPE] that declared it (histograms may add [_bucket]/[_sum]/
+   [_count]). *)
+
+let valid_metric_name s =
+  let name_char c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+    || c = '_' || c = ':'
+  in
+  String.length s > 0
+  && (not (s.[0] >= '0' && s.[0] <= '9'))
+  && String.for_all name_char s
+
+let lint_prometheus out =
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let rec go pending_help current = function
+    | [] | [ "" ] -> if pending_help = None then Ok () else Error "dangling # HELP"
+    | "" :: _ -> Error "blank line inside exposition"
+    | line :: rest when line.[0] = '#' -> (
+      match String.split_on_char ' ' line with
+      | "#" :: "HELP" :: name :: _ ->
+        if pending_help <> None then fail "HELP not followed by TYPE before %s" name
+        else if not (valid_metric_name name) then fail "bad HELP name %S" name
+        else go (Some name) current rest
+      | [ "#"; "TYPE"; name; kind ] ->
+        if not (valid_metric_name name) then fail "bad TYPE name %S" name
+        else if (match pending_help with Some h -> h <> name | None -> false) then
+          fail "HELP/TYPE name mismatch at %s" name
+        else if not (List.mem kind [ "counter"; "gauge"; "histogram" ]) then
+          fail "unknown kind %S for %s" kind name
+        else go None (Some (name, kind)) rest
+      | _ -> fail "malformed comment line %S" line)
+    | line :: rest -> (
+      if pending_help <> None then fail "sample between HELP and TYPE: %S" line
+      else
+        match String.index_opt line ' ' with
+        | None -> fail "sample without value: %S" line
+        | Some sp -> (
+          let name_part = String.sub line 0 sp in
+          let base =
+            match String.index_opt name_part '{' with
+            | Some i -> String.sub name_part 0 i
+            | None -> name_part
+          in
+          if not (valid_metric_name base) then fail "bad sample name %S" base
+          else
+            match current with
+            | None -> fail "sample before any TYPE: %S" line
+            | Some (tname, kind) ->
+              let grouped =
+                if kind = "histogram" then
+                  base = tname ^ "_bucket" || base = tname ^ "_sum"
+                  || base = tname ^ "_count"
+                else base = tname
+              in
+              if grouped then go None current rest
+              else fail "sample %s not under its TYPE %s" base tname))
+  in
+  go None None (String.split_on_char '\n' out)
+
+let check_lint out =
+  match lint_prometheus out with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "prometheus lint: %s" msg
+
+let test_prometheus_lint () =
+  (* adversarial help text: backslashes and newlines must be escaped such
+     that the line structure survives *)
+  ignore
+    (Registry.counter "test_obs_lint_total"
+       ~help:"first line\nsecond \\ line with \"quotes\"");
+  ignore (Registry.histogram "test_obs_lint_hist" ~help:"h");
+  Histogram.observe (Registry.histogram "test_obs_lint_hist") 5;
+  let out = Export.prometheus () in
+  Alcotest.(check bool) "escaped newline" true
+    (contains out {|# HELP test_obs_lint_total first line\nsecond \\ line with "quotes"|});
+  check_lint out
+
+(* {1 Property tests: exporters stay well-formed under arbitrary strings} *)
+
+let qc_count = 100
+
+let prop_json_export_wellformed =
+  QCheck2.Test.make ~count:qc_count
+    ~name:"Export.to_json / Chrome.to_json well-formed for arbitrary span text"
+    QCheck2.Gen.(
+      pair (string_size (int_bound 30))
+        (small_list (pair (string_size (int_bound 12)) small_nat)))
+    (fun (span_name, counters) ->
+      Trace.reset ();
+      Trace.with_span span_name (fun () ->
+          List.iter (fun (k, v) -> Trace.add k v) counters;
+          Trace.with_span (span_name ^ "\xff\x00child") (fun () -> ()));
+      let ok s = try validate_json s; true with Bad_json _ -> false in
+      let json_ok = ok (Export.to_json ()) and chrome_ok = ok (Chrome.to_json ()) in
+      Trace.reset ();
+      json_ok && chrome_ok)
+
+let qc_help_slot = ref 0
+
+let prop_prometheus_lint_wellformed =
+  QCheck2.Test.make ~count:50
+    ~name:"Export.prometheus lints clean for arbitrary help text"
+    QCheck2.Gen.(string_size (int_bound 40))
+    (fun help ->
+      (* rotate over a small set of names so the suite doesn't flood the
+         registry; the first registration's help wins, which is fine —
+         every round still lints the full exposition *)
+      incr qc_help_slot;
+      ignore
+        (Registry.counter
+           (Printf.sprintf "test_obs_qc_help_%d_total" (!qc_help_slot land 7))
+           ~help);
+      match lint_prometheus (Export.prometheus ()) with
+      | Ok () -> true
+      | Error msg -> QCheck2.Test.fail_reportf "lint: %s" msg)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
 let suite =
   [
     ( "obs",
@@ -400,5 +715,18 @@ let suite =
         Alcotest.test_case "multi-domain stress" `Quick test_multi_domain;
         Alcotest.test_case "multi-domain timing aggregators" `Quick
           test_multi_domain_timing;
+        Alcotest.test_case "add_float non-finite guard" `Quick
+          test_add_float_nonfinite;
+        Alcotest.test_case "trace root retention is bounded" `Quick
+          test_trace_retention;
+        Alcotest.test_case "chrome trace schema" `Quick test_chrome_trace_schema;
+        Alcotest.test_case "reqtrace per-request attribution" `Quick
+          test_reqtrace_attribution;
+        Alcotest.test_case "reqtrace slowlog ring drops oldest" `Quick
+          test_reqtrace_ring;
+        Alcotest.test_case "slo targets and breach accounting" `Quick test_slo;
+        Alcotest.test_case "prometheus exposition lint" `Quick test_prometheus_lint;
       ] );
+    ( "obs.properties",
+      qsuite [ prop_json_export_wellformed; prop_prometheus_lint_wellformed ] );
   ]

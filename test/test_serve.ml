@@ -281,6 +281,80 @@ let test_batch_render () =
       (Batch.Failed "nope", "error: nope");
     ]
 
+(* {1 Reqtrace acceptance: a batch run produces per-kind latency
+   histograms, live SLO gauges and a populated slowlog} *)
+
+module Registry = Hopi_obs.Registry
+module Histogram = Hopi_obs.Histogram
+module Gauge = Hopi_obs.Gauge
+module Reqtrace = Hopi_obs.Reqtrace
+module Slo = Hopi_obs.Slo
+
+let test_batch_reqtrace () =
+  let g = Digraph.create () in
+  for v = 0 to 9 do
+    Digraph.add_node g v
+  done;
+  for v = 0 to 8 do
+    Digraph.add_edge g v (v + 1)
+  done;
+  let cover = fst (Builder.build (Closure.compute g)) in
+  with_store_file (fun store -> Cover_store.load_cover store cover) @@ fun path ->
+  let snap = Snapshot.open_file ~cache_mb:4 path in
+  Fun.protect ~finally:(fun () -> Snapshot.close snap) @@ fun () ->
+  Reqtrace.reset_slowlog ();
+  Reqtrace.set_slow_threshold_ns 0;
+  Fun.protect
+    ~finally:(fun () ->
+      Reqtrace.disable_slowlog ();
+      Reqtrace.reset_slowlog ();
+      Slo.set_targets ~p50_ns:0 ~p95_ns:0 ~p99_ns:0 Reqtrace.slo)
+  @@ fun () ->
+  let kind_count kind =
+    Histogram.count
+      (Registry.histogram (Printf.sprintf "hopi_serve_query_kind_%s_duration_ns" kind))
+  in
+  let kinds = [ "reach"; "dist"; "desc"; "anc" ] in
+  let before = List.map kind_count kinds in
+  let queries =
+    [| Batch.Reach (0, 9); Batch.Dist (0, 5); Batch.Desc 0; Batch.Anc 9 |]
+  in
+  Pool.with_pool ~jobs:2 @@ fun pool ->
+  let answers = Batch.eval_batch ~pool snap queries in
+  checkb "reach answered" true (answers.(0) = Batch.Bool true);
+  (* plain (non-dist) covers answer reachability-backed distances; the
+     exact value is the store's business — reqtrace only needs the query
+     to have run *)
+  checkb "dist answered" true
+    (match answers.(1) with Batch.Distance (Some _) -> true | _ -> false);
+  checkb "desc answered" true (answers.(2) = Batch.Count 10);
+  checkb "anc answered" true (answers.(3) = Batch.Count 10);
+  (* every kind fed its own latency histogram exactly once *)
+  List.iter2
+    (fun kind b -> checki ("kind histogram " ^ kind) (b + 1) (kind_count kind))
+    kinds before;
+  (* slowlog at threshold 0 records all four, with sane attribution *)
+  let entries = Reqtrace.slowlog () in
+  checki "slowlog has the whole batch" 4 (List.length entries);
+  List.iter
+    (fun s ->
+      checkb ("latency measured: " ^ s.Reqtrace.query) true (s.Reqtrace.latency_ns >= 0);
+      checkb ("labels probed: " ^ s.Reqtrace.query) true (s.Reqtrace.labels_probed >= 1);
+      checkb ("answer rendered: " ^ s.Reqtrace.query) true (s.Reqtrace.answer <> ""))
+    entries;
+  (* a cold store means someone had to touch pages *)
+  checkb "pager reads attributed" true
+    (List.exists (fun s -> s.Reqtrace.pager_reads > 0) entries);
+  (* SLO gauges move with the configured targets *)
+  Slo.set_targets ~p50_ns:max_int ~p95_ns:max_int ~p99_ns:max_int Reqtrace.slo;
+  checkb "generous serve SLO holds" true (Slo.update Reqtrace.slo);
+  checki "ok gauge set" 1 (Gauge.get (Registry.gauge "hopi_slo_serve_query_ok"));
+  checkb "observed p95 published" true
+    (Gauge.get (Registry.gauge "hopi_slo_serve_query_p95_ns") > 0);
+  Slo.set_targets ~p95_ns:1 Reqtrace.slo;
+  checkb "1ns p95 target breached" false (Slo.update Reqtrace.slo);
+  checki "ok gauge cleared" 0 (Gauge.get (Registry.gauge "hopi_slo_serve_query_ok"))
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let suite =
@@ -302,6 +376,8 @@ let suite =
       [
         Alcotest.test_case "query parsing" `Quick test_batch_parse;
         Alcotest.test_case "answer rendering" `Quick test_batch_render;
+        Alcotest.test_case "batch run feeds reqtrace/SLO/slowlog" `Quick
+          test_batch_reqtrace;
       ] );
     ( "serve.differential",
       qsuite [ prop_snapshot_differential; prop_batch_cached_equals_uncached ] );
