@@ -725,6 +725,138 @@ let query_throughput (s : scale) =
   if Domain.recommended_domain_count () = 1 then
     note "NOTE: one core available — speedups here come from the cache, not the pool."
 
+(* {1 Live serving: generational flips under churn} *)
+
+(* The zero-downtime pitch, measured end to end.  Three throughput numbers
+   and a flip-latency distribution:
+   - direct: batches on one pinned snapshot (the no-indirection ceiling);
+   - generational: the same batches through acquire/release per batch;
+   - churn: the same read loop while a writer domain applies link churn
+     and flips generations continuously.
+   The gap between direct and generational is the cost of the swap
+   indirection; the gap to churn is what flips cost the read side. *)
+let live_maintenance (s : scale) =
+  section "live serving: generational store swap under churn";
+  let module Serve = Hopi_serve in
+  let module G = Serve.Generation in
+  let module Manifest = Hopi_storage.Manifest in
+  let module Pool = Hopi_util.Pool in
+  let module Query_gen = Hopi_workload.Query_gen in
+  let c = dblp_collection (max 40 (s.dblp_docs / 4)) in
+  let idx = Hopi.create c in
+  let base = Filename.temp_file "hopi_live" ".db" in
+  Sys.remove base;
+  Fun.protect
+    ~finally:(fun () ->
+      let rm p = if Sys.file_exists p then Sys.remove p in
+      let m = Manifest.path ~base in
+      rm m;
+      rm (m ^ "-journal");
+      for k = 0 to 64 do
+        let p = Manifest.gen_path ~base k in
+        rm p;
+        rm (p ^ "-journal")
+      done)
+  @@ fun () ->
+  let gen = G.create ~fsync:false ~cache_mb:32 ~retain:0 ~base idx in
+  Fun.protect ~finally:(fun () -> G.close gen) @@ fun () ->
+  let nodes =
+    let acc = ref [] in
+    Collection.iter_elements c (fun e -> acc := e :: !acc);
+    Array.of_list !acc
+  in
+  let n_q = 5_000 in
+  let queries =
+    Array.map
+      (fun (u, v) -> Serve.Batch.Reach (u, v))
+      (Query_gen.uniform_pairs ~seed:17 ~nodes ~n:n_q)
+  in
+  let qps n t = float_of_int n /. Float.max t 1e-9 in
+  Pool.with_pool ~jobs:s.jobs @@ fun pool ->
+  let direct_qps =
+    let snap = G.acquire gen in
+    Fun.protect ~finally:(fun () -> G.release gen snap) @@ fun () ->
+    ignore (Serve.Batch.eval_batch ~pool snap queries);
+    let _, t = Timer.time (fun () -> Serve.Batch.eval_batch ~pool snap queries) in
+    qps n_q t
+  in
+  let gen_qps =
+    ignore (G.with_snapshot gen (fun snap -> Serve.Batch.eval_batch ~pool snap queries));
+    let _, t =
+      Timer.time (fun () ->
+          G.with_snapshot gen (fun snap -> Serve.Batch.eval_batch ~pool snap queries))
+    in
+    qps n_q t
+  in
+  (* churn: a writer domain applies link bursts and flips [n_flips] times
+     while this domain keeps reading through acquire/release *)
+  let n_flips = 10 in
+  let stop = Atomic.make false in
+  let writer =
+    Domain.spawn (fun () ->
+        let rng = Splitmix.create 23 in
+        let stats = ref [] in
+        for _ = 1 to n_flips do
+          for _ = 1 to 8 do
+            let u = nodes.(Splitmix.int rng (Array.length nodes))
+            and v = nodes.(Splitmix.int rng (Array.length nodes)) in
+            ignore (G.apply gen (G.Add_link (u, v)))
+          done;
+          let st = G.flip gen in
+          stats := st :: !stats
+        done;
+        Atomic.set stop true;
+        List.rev !stats)
+  in
+  let batches = ref 0 in
+  let _, t_churn =
+    Timer.time (fun () ->
+        while not (Atomic.get stop) do
+          ignore
+            (G.with_snapshot gen (fun snap -> Serve.Batch.eval_batch ~pool snap queries));
+          incr batches
+        done)
+  in
+  let flip_stats = Domain.join writer in
+  let churn_qps = qps (max 1 !batches * n_q) t_churn in
+  let flip_ns = List.sort compare (List.map (fun st -> st.G.duration_ns) flip_stats) in
+  let p50 = List.nth flip_ns (List.length flip_ns / 2) in
+  let fmax = List.fold_left max 0 flip_ns in
+  let dirtied = List.fold_left (fun a st -> a + st.G.dirtied) 0 flip_stats in
+  let invalidated = List.fold_left (fun a st -> a + st.G.invalidated) 0 flip_stats in
+  let g name v = Hopi_obs.Gauge.set (Hopi_obs.Registry.gauge name) v in
+  g "bench_live_direct_qps" (int_of_float direct_qps);
+  g "bench_live_gen_qps" (int_of_float gen_qps);
+  g "bench_live_churn_qps" (int_of_float churn_qps);
+  g "bench_live_flip_p50_ns" p50;
+  g "bench_live_flip_max_ns" fmax;
+  print_table
+    [ "mode"; "q/s"; "vs direct" ]
+    [
+      [ "direct (pinned snapshot)"; Fmt.str "%.0f" direct_qps; "1.00x" ];
+      [
+        "generational (acquire/release)";
+        Fmt.str "%.0f" gen_qps;
+        Fmt.str "%.2fx" (gen_qps /. Float.max direct_qps 1e-9);
+      ];
+      [
+        "under churn (writer flipping)";
+        Fmt.str "%.0f" churn_qps;
+        Fmt.str "%.2fx" (churn_qps /. Float.max direct_qps 1e-9);
+      ];
+    ];
+  note "%d elements, %d reach queries per batch, jobs=%d" (Array.length nodes)
+    n_q s.jobs;
+  note "%d flips while serving: p50 %.2fms, max %.2fms; %d nodes dirtied, %d \
+        cache entries invalidated"
+    n_flips
+    (float_of_int p50 /. 1e6)
+    (float_of_int fmax /. 1e6)
+    dirtied invalidated;
+  note "final generation %d (tip %d), %d read batches completed during churn"
+    (G.live gen) (G.tip gen) !batches;
+  if G.live gen <> n_flips then failwith "live_maintenance: flips lost"
+
 (* {1 Correctness gate} *)
 
 let selfcheck (_ : scale) =

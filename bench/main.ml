@@ -28,6 +28,8 @@ let experiments : (string * string * (Bench_common.scale -> unit)) list =
      Experiments.storage_durability);
     ("query_throughput", "serving: batch throughput, cold vs warm label cache",
      Experiments.query_throughput);
+    ("live_maintenance", "serving: zero-downtime generational flips under churn",
+     Experiments.live_maintenance);
     ("micro", "query-latency micro-benchmarks", Micro.run);
   ]
 

@@ -174,9 +174,15 @@ let verify_store path verbose =
       match S.Catalog.read pager with
       | cat ->
         (match cat.S.Catalog.kind with S.Catalog.Cover -> "cover" | S.Catalog.Closure -> "closure")
-      | exception S.Storage_error.Storage_error e ->
-        Fmt.epr "%s: bad catalog: %s@." path (S.Storage_error.to_string e);
-        exit 1
+      | exception S.Storage_error.Storage_error e -> (
+        (* not an index store: a generation manifest is a pager file too *)
+        match S.Manifest.read_file path with
+        | m ->
+          Printf.sprintf "generation manifest (live %d, previous %d, tip %d)"
+            m.S.Manifest.live m.S.Manifest.previous m.S.Manifest.tip
+        | exception S.Storage_error.Storage_error _ ->
+          Fmt.epr "%s: bad catalog: %s@." path (S.Storage_error.to_string e);
+          exit 1)
     in
     Fmt.pr "%s: ok — %s store, %d pages (%d KiB), all checksums verified@." path kind
       (S.Pager.n_pages pager)
@@ -268,11 +274,172 @@ let configure_reqtrace slow_ms slo_p50_ms slo_p95_ms slo_p99_ms =
     ?p95_ns:(Option.map ns_of_ms slo_p95_ms)
     ?p99_ns:(Option.map ns_of_ms slo_p99_ms)
 
+(* One line of a [--maintain] churn script: a Generation op, [flip],
+   [rollback], or [sleep-ms N] for pacing. *)
+let maint_line gen line =
+  let module G = Hopi_serve.Generation in
+  if line = "flip" then begin
+    let st = G.flip gen in
+    Ok
+      (Fmt.str "generation %d live (%.2f ms, %d dirtied, %d invalidated)"
+         st.G.generation
+         (float_of_int st.G.duration_ns /. 1e6)
+         st.G.dirtied st.G.invalidated)
+  end
+  else if line = "rollback" then
+    Ok (Fmt.str "generation %d live (rolled back)" (G.rollback gen))
+  else if String.length line > 9 && String.sub line 0 9 = "sleep-ms " then begin
+    match float_of_string_opt (String.sub line 9 (String.length line - 9)) with
+    | Some ms when ms >= 0.0 ->
+      Unix.sleepf (ms /. 1000.0);
+      Ok (Fmt.str "slept %.0f ms" ms)
+    | _ -> Error "sleep-ms: not a non-negative number"
+  end
+  else
+    match G.parse_op line with Error _ as e -> e | Ok op -> G.apply gen op
+
+(* Live mode: the store is a generation family; churn is applied through
+   Hopi_serve.Generation and flipped in without interrupting serving. *)
+let serve_live store_path jobs cache_mb batch_size pool_pages corpus_dir
+    metrics_path maintain retain fsync =
+  let module Serve = Hopi_serve in
+  let module G = Serve.Generation in
+  let c = load_dir corpus_dir in
+  let idx = Hopi.create c in
+  let gen =
+    G.create ~pool_pages ~cache_mb ~retain ~fsync ~base:store_path idx
+  in
+  Fmt.epr
+    "serving %s live: generation %d, %d elements; cache %d MiB, jobs %d, \
+     batch %d, retain %d@."
+    store_path (G.live gen)
+    (Collection.n_elements c)
+    cache_mb jobs batch_size retain;
+  let served = ref 0 in
+  let writer =
+    match maintain with
+    | None -> None
+    | Some file ->
+      let lines =
+        read_lines file
+        |> List.map String.trim
+        |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+      in
+      Fmt.epr "maintain: %d scripted operations from %s@." (List.length lines)
+        file;
+      Some
+        (Domain.spawn (fun () ->
+             List.iter
+               (fun line ->
+                 match maint_line gen line with
+                 | Ok msg -> Fmt.epr "maintain: %s@." msg
+                 | Error e -> Fmt.epr "maintain: error: %s (%S)@." e line)
+               lines))
+  in
+  Hopi_util.Pool.with_pool ~jobs (fun pool ->
+      let pending = ref [] and n_pending = ref 0 in
+      let drain () =
+        if !n_pending > 0 then begin
+          let queries = Array.of_list (List.rev !pending) in
+          pending := [];
+          n_pending := 0;
+          (* one snapshot per batch: a batch never straddles a flip *)
+          let answers =
+            G.with_snapshot gen (fun snap ->
+                Serve.Batch.eval_batch ~pool snap queries)
+          in
+          Array.iter (fun a -> print_endline (Serve.Batch.render a)) answers;
+          served := !served + Array.length answers;
+          flush stdout
+        end
+      in
+      let print_now line =
+        drain ();
+        print_endline line;
+        flush stdout
+      in
+      (try
+         while true do
+           let line = String.trim (input_line stdin) in
+           if line = "" || line.[0] = '#' then ()
+           else if line = "quit" then raise Exit
+           else if line = "stats" then
+             print_now
+               (Fmt.str
+                  "served %d; generation %d (%d pending ops); cache %d \
+                   entries, %d bytes of %d"
+                  !served (G.live gen) (G.pending_ops gen)
+                  (Serve.Label_cache.entries (G.cache gen))
+                  (Serve.Label_cache.bytes (G.cache gen))
+                  (Serve.Label_cache.capacity_bytes (G.cache gen)))
+           else if line = "slowlog" then begin
+             drain ();
+             ignore (Hopi_obs.Slo.update Hopi_obs.Reqtrace.slo);
+             print_now
+               (String.trim (Fmt.str "%a" Hopi_obs.Reqtrace.pp_slowlog ()))
+           end
+           else if line = "gens" then
+             print_now
+               (Fmt.str
+                  "live %d, previous %d, tip %d; %d pending ops, %d \
+                   generations open"
+                  (G.live gen) (G.previous gen) (G.tip gen)
+                  (G.pending_ops gen) (G.retained gen))
+           else if line = "flip" then begin
+             let st = G.flip gen in
+             print_now
+               (Fmt.str
+                  "generation %d live (%.2f ms; %d nodes dirtied, %d cache \
+                   entries invalidated%s)"
+                  st.G.generation
+                  (float_of_int st.G.duration_ns /. 1e6)
+                  st.G.dirtied st.G.invalidated
+                  (if st.G.full_invalidation then "; full invalidation" else ""))
+           end
+           else if line = "rollback" then
+             print_now
+               (Fmt.str "generation %d live (rolled back)" (G.rollback gen))
+           else if String.length line > 6 && String.sub line 0 6 = "apply " then begin
+             let rest = String.sub line 6 (String.length line - 6) in
+             match G.parse_op rest with
+             | Error e -> print_now ("error: " ^ e)
+             | Ok op -> (
+               match G.apply gen op with
+               | Ok msg -> print_now ("ok: " ^ msg)
+               | Error e -> print_now ("error: " ^ e))
+           end
+           else
+             match Serve.Batch.parse line with
+             | Error e -> print_now ("error: " ^ e)
+             | Ok q ->
+               pending := q :: !pending;
+               incr n_pending;
+               if !n_pending >= batch_size then drain ()
+         done
+       with End_of_file | Exit -> ());
+      drain ());
+  (match writer with Some d -> Domain.join d | None -> ());
+  Fmt.epr "served %d queries; final generation %d of %d@." !served (G.live gen)
+    (G.tip gen);
+  G.close gen;
+  ignore (Hopi_obs.Slo.update Hopi_obs.Reqtrace.slo);
+  write_metrics metrics_path
+
 let serve store_path jobs cache_mb batch_size pool_pages corpus verbose metrics_path
-    slow_ms slo_p50_ms slo_p95_ms slo_p99_ms =
+    slow_ms slo_p50_ms slo_p95_ms slo_p99_ms live maintain retain no_fsync =
   setup_logs verbose;
   let module Serve = Hopi_serve in
   configure_reqtrace slow_ms slo_p50_ms slo_p95_ms slo_p99_ms;
+  if live || maintain <> None then begin
+    match corpus with
+    | None ->
+      failwith
+        "--live needs --corpus DIR: the writer index is built from the corpus"
+    | Some dir ->
+      serve_live store_path jobs cache_mb batch_size pool_pages dir
+        metrics_path maintain retain (not no_fsync)
+  end
+  else begin
   let snap = Serve.Snapshot.open_file ~pool_pages ~cache_mb store_path in
   Fmt.epr "serving %s: %s store, %d nodes, %d entries; cache %d MiB, jobs %d, batch %d@."
     store_path
@@ -353,6 +520,7 @@ let serve store_path jobs cache_mb batch_size pool_pages corpus verbose metrics_
   (* final SLO refresh so the metrics snapshot carries current gauges *)
   ignore (Hopi_obs.Slo.update Hopi_obs.Reqtrace.slo);
   write_metrics metrics_path
+  end
 
 (* {1 slowlog} *)
 
@@ -550,7 +718,9 @@ let query_cmd =
     Term.(const query $ dir_arg $ expr $ batch $ top $ distance $ jobs_arg $ metrics_arg)
 
 let serve_cmd =
-  let store = Arg.(required & pos 0 (some file) None & info [] ~docv:"STORE") in
+  (* [some string], not [some file]: in live mode the store (and its
+     generation manifest) may not exist yet — Generation.create makes it *)
+  let store = Arg.(required & pos 0 (some string) None & info [] ~docv:"STORE") in
   let jobs =
     Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
            ~doc:"Worker domains for query evaluation.")
@@ -590,13 +760,39 @@ let serve_cmd =
                       milliseconds (published as hopi_slo_serve_query_* gauges)."
                      which))
   in
+  let live =
+    Arg.(value & flag & info [ "live" ]
+           ~doc:"Serve a generation family with online maintenance: the \
+                 $(b,apply OP), $(b,flip), $(b,rollback) and $(b,gens) input \
+                 commands become available, and STORE names the family base \
+                 (created from $(b,--corpus) if absent).  Implied by \
+                 $(b,--maintain).")
+  in
+  let maintain =
+    Arg.(value & opt (some file) None & info [ "maintain" ] ~docv:"FILE"
+           ~doc:"Run this churn script (maintenance ops plus $(b,flip), \
+                 $(b,rollback), $(b,sleep-ms N); one per line, $(b,#) \
+                 comments) on a writer domain concurrently with serving.")
+  in
+  let retain =
+    Arg.(value & opt int 2 & info [ "retain" ] ~docv:"N"
+           ~doc:"Keep the store files of $(docv) generations beyond the \
+                 live/rollback pair on disk before deleting them.")
+  in
+  let no_fsync =
+    Arg.(value & flag & info [ "no-fsync" ]
+           ~doc:"Skip sync points when publishing generations: faster flips, \
+                 still process-crash-safe (journaled), but a power loss may \
+                 lose the newest generation.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Serve reach/dist/desc/anc/path queries over a stored index \
-             (line-oriented stdin/stdout loop; see docs/OPERATIONS.md)")
+             (line-oriented stdin/stdout loop; see docs/OPERATIONS.md), \
+             optionally with live generational maintenance ($(b,--live))")
     Term.(const serve $ store $ jobs $ cache_mb $ batch $ pool_pages $ corpus
           $ verbose $ metrics_arg $ slow_ms $ slo_ms "p50" $ slo_ms "p95"
-          $ slo_ms "p99")
+          $ slo_ms "p99" $ live $ maintain $ retain $ no_fsync)
 
 let metrics_cmd =
   let dir = Arg.(value & pos 0 (some dir) None & info [] ~docv:"DIR") in

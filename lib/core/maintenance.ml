@@ -298,6 +298,11 @@ let insert_subtree c cover ~doc ~parent fragment =
 
 let delete_subtree c cover eid =
   Counter.incr m_delete_subtrees;
+  (* [Collection.remove_subtree] rejects document roots, but it only runs
+     after the cover surgery below — validate up front so a rejected
+     deletion leaves the cover untouched *)
+  if (Collection.element_info c eid).Collection.el_parent = None then
+    invalid_arg "Collection.remove_subtree: cannot remove a document root";
   let removed = Collection.subtree_elements c eid in
   let v_di = Ihs.create () in
   List.iter (fun e -> Ihs.add v_di e) removed;

@@ -21,11 +21,25 @@ let m_evictions =
   Registry.counter "hopi_serve_cache_evictions_total"
     ~help:"Label-cache entries evicted to stay under the size budget"
 
+let m_invalidations =
+  Registry.counter "hopi_serve_cache_invalidations_total"
+    ~help:"Label-cache entries evicted because a generation flip dirtied them"
+
 let g_bytes =
   Registry.gauge "hopi_serve_cache_bytes" ~help:"Accounted label-cache size"
 
 let g_entries =
   Registry.gauge "hopi_serve_cache_entries" ~help:"Live label-cache entries"
+
+type dir = Lin | Lout
+
+(* Key layout: [version | node | dir-bit].  Injective as long as node ids
+   stay below 2^43 and versions below 2^19 — both far beyond anything the
+   element-id allocator or the generation counter can reach in practice.
+   Version 0 reproduces the historical un-versioned key, so standalone
+   snapshots keep byte-identical cache behaviour. *)
+let key ?(version = 0) dir node =
+  (version lsl 44) lor (node lsl 1) lor (match dir with Lout -> 0 | Lin -> 1)
 
 type entry = {
   key : int;
@@ -149,11 +163,26 @@ let add t key value =
           evict_over_budget s)
   end
 
+let remove t key =
+  if not (enabled t) then false
+  else begin
+    let s = shard_of t key in
+    with_shard s (fun () ->
+        match Hashtbl.find_opt s.tbl key with
+        | Some e ->
+          drop s e;
+          Counter.incr m_invalidations;
+          true
+        | None -> false)
+  end
+
 let hits () = m_hits
 
 let misses () = m_misses
 
 let evictions () = m_evictions
+
+let invalidations () = m_invalidations
 
 let bytes t = Array.fold_left (fun acc s -> acc + with_shard s (fun () -> s.bytes)) 0 t.shards
 

@@ -26,6 +26,19 @@
 
 type t
 
+type dir = Lin | Lout
+
+val key : ?version:int -> dir -> int -> int
+(** [key ?version dir node] packs a label-set identity into the integer
+    key space: direction in the low bit, node id next, [version] (default
+    0) in the high bits.  Versions let several generations of the same
+    node's labels coexist in one shared cache — a snapshot opened against
+    generation [g] asks for the key of the version its store file actually
+    holds, so an entry cached by an older generation is simply never
+    requested again once the node's labels change (see
+    [Hopi_serve.Generation]).  With the default version this is exactly
+    the key {!Snapshot} has always used. *)
+
 val create : ?shards:int -> capacity_bytes:int -> unit -> t
 (** [shards] (default 16) is rounded up to a power of two;
     [capacity_bytes] is the total budget across all shards.
@@ -43,6 +56,15 @@ val add : t -> int -> int array -> unit
 (** Insert (or replace) the entry, evicting least-recently-used entries of
     the same shard as needed.  The cache takes ownership of nothing: the
     caller must not mutate [value] afterwards. *)
+
+val remove : t -> int -> bool
+(** [remove t key] evicts one entry, returning whether it was present.
+    Size accounting is adjusted exactly as for an LRU eviction, and the
+    [hopi_serve_cache_invalidations_total] counter (not the eviction
+    counter) records it.  Used by the generational serving layer to
+    reclaim entries whose node was dirtied by churn; untouched entries are
+    never scanned, so invalidation cost is proportional to the churn, not
+    the cache. *)
 
 val bytes : t -> int
 (** Current accounted size across all shards. *)
@@ -66,3 +88,5 @@ val hits : unit -> Hopi_obs.Counter.t
 val misses : unit -> Hopi_obs.Counter.t
 
 val evictions : unit -> Hopi_obs.Counter.t
+
+val invalidations : unit -> Hopi_obs.Counter.t

@@ -17,6 +17,8 @@ type t = {
   path : string;
   pool_pages : int;
   cache : Label_cache.t;
+  epoch : int;
+  node_version : int -> int; (* frozen at open: cache-key version per node *)
   kind : [ `Cover | `Closure ];
   with_dist : bool;
   nodes : Ihs.t; (* cover: registry frozen at open; closure: unused *)
@@ -30,9 +32,16 @@ type t = {
 
 let domain_key () = (Domain.self () :> int)
 
-let open_file ?(pool_pages = 256) ?(cache_mb = 64) ?shards path =
+let default_version _ = 0
+
+let open_file ?(pool_pages = 256) ?(cache_mb = 64) ?shards ?cache ?(epoch = 0)
+    ?(node_version = default_version) path =
   let pgr = S.Pager.open_existing ~pool_pages path in
-  let cache = Label_cache.create ?shards ~capacity_bytes:(cache_mb * 1024 * 1024) () in
+  let cache =
+    match cache with
+    | Some c -> c
+    | None -> Label_cache.create ?shards ~capacity_bytes:(cache_mb * 1024 * 1024) ()
+  in
   let handles = Hashtbl.create 8 in
   let cat = S.Catalog.read pgr in
   let kind, with_dist, nodes, n_nodes, n_entries =
@@ -49,8 +58,9 @@ let open_file ?(pool_pages = 256) ?(cache_mb = 64) ?shards path =
       Hashtbl.add handles (domain_key ()) (Closure st);
       (`Closure, false, Ihs.create (), 0, S.Closure_store.n_connections st)
   in
-  { path; pool_pages; cache; kind; with_dist; nodes; n_nodes; n_entries;
-    mu = Mutex.create (); handles; pagers = [ pgr ]; closed = false }
+  { path; pool_pages; cache; epoch; node_version; kind; with_dist; nodes;
+    n_nodes; n_entries; mu = Mutex.create (); handles; pagers = [ pgr ];
+    closed = false }
 
 (* The pager/btree stack is single-domain, so each worker domain gets a
    private handle onto the same committed file, opened lazily on first
@@ -96,15 +106,20 @@ let cache t = t.cache
 
 let path t = t.path
 
+let epoch t = t.epoch
+
 (* {1 Label fetch} *)
 
 type dir = Lin | Lout
 
-let cache_key dir v = (v lsl 1) lor (match dir with Lout -> 0 | Lin -> 1)
+let cache_key t dir v =
+  Label_cache.key ~version:(t.node_version v)
+    (match dir with Lout -> Label_cache.Lout | Lin -> Label_cache.Lin)
+    v
 
 let labels t st dir v =
   Hopi_obs.Reqtrace.Local.note_label_probe ();
-  let key = cache_key dir v in
+  let key = cache_key t dir v in
   match Label_cache.find t.cache key with
   | Some arr -> arr
   | None ->

@@ -23,11 +23,30 @@
 
 type t
 
-val open_file : ?pool_pages:int -> ?cache_mb:int -> ?shards:int -> string -> t
+val open_file :
+  ?pool_pages:int ->
+  ?cache_mb:int ->
+  ?shards:int ->
+  ?cache:Label_cache.t ->
+  ?epoch:int ->
+  ?node_version:(int -> int) ->
+  string ->
+  t
 (** Attach to a committed page file.  [pool_pages] (default 256) sizes
     each per-domain pager's buffer pool; [cache_mb] (default 64) is the
     label-cache budget, 0 disables caching; [shards] is passed to
     {!Label_cache.create}.
+
+    [cache] plugs in an externally owned {!Label_cache} instead of
+    creating a private one (ignoring [cache_mb]/[shards]) — the
+    generational serving layer shares one cache across generations this
+    way.  [epoch] (default 0) tags the snapshot with the generation it was
+    opened against; it is purely descriptive here and reported by
+    {!epoch}.  [node_version] (default: constant 0) supplies the
+    cache-key version of each node's labels ({!Label_cache.key}); it is
+    captured at open time and must be immutable — a frozen map, not a view
+    of live writer state — so every label fetched through this snapshot
+    resolves to the same versioned key for its whole lifetime.
     @raise Hopi_storage.Storage_error.Storage_error on a missing file, a
     corrupt catalog, or an unrecoverable journal. *)
 
@@ -51,6 +70,12 @@ val n_entries : t -> int
 val cache : t -> Label_cache.t
 
 val path : t -> string
+
+val epoch : t -> int
+(** The generation this snapshot was opened against (0 for standalone
+    snapshots).  An in-flight batch holds one snapshot for all of its
+    queries, so the epoch of every answer in a batch is the same — a batch
+    never straddles a generation flip. *)
 
 (** {1 Queries}
 

@@ -1,0 +1,79 @@
+(** The generation manifest: the one-page commit point of a generational
+    store family.
+
+    A live index directory holds a family of immutable store files — the
+    base file (generation 0) plus [base.gen<k>] siblings published by
+    later flips — and this manifest, [base.gens], which records which
+    member is being served:
+
+    - [live]: the generation queries must be answered from;
+    - [previous]: the generation [live] flipped away from, retained as the
+      rollback target;
+    - [tip]: the highest generation ever published (the next flip writes
+      [tip + 1]).
+
+    The manifest is itself a single-page {!Pager} file, so updating it
+    inherits the journaled-commit discipline: a crash at any point of
+    {!publish} or {!rollback} recovers (on the next {!recover}) to a
+    manifest naming either the old or the new generation in full — never a
+    mixture, because store files are only ever written {e before} the
+    manifest commit that makes them reachable.  The {!Vfs} layer has no
+    atomic rename, and this module is why none is needed.
+
+    All functions take [?vfs] (default {!Vfs.real}) so the fault-injection
+    harness can crash them at every operation. *)
+
+type t = { live : int; previous : int; tip : int }
+
+val path : base:string -> string
+(** [path ~base] is the manifest file of the family rooted at the store
+    path [base] (currently [base ^ ".gens"]). *)
+
+val gen_path : base:string -> int -> string
+(** The store file of generation [k]: [base] itself for [k = 0],
+    [base.gen<k>] otherwise. *)
+
+val exists : ?vfs:Vfs.t -> base:string -> unit -> bool
+
+val read : ?vfs:Vfs.t -> base:string -> unit -> t
+(** Read the committed manifest (rolling back a hot journal first).
+    @raise Storage_error.Storage_error when missing or corrupt. *)
+
+val read_file : ?vfs:Vfs.t -> ?fsync:bool -> string -> t
+(** {!read} addressed by the manifest file itself rather than the family
+    base — used by [hopi verify-store] when pointed at a [.gens] file. *)
+
+val commit : ?vfs:Vfs.t -> ?fsync:bool -> base:string -> t -> unit
+(** Atomically replace the manifest contents (creating the file on first
+    use).  Validates the triple ([0 <= live, previous <= tip]). *)
+
+val publish :
+  ?vfs:Vfs.t ->
+  ?fsync:bool ->
+  ?pool_pages:int ->
+  base:string ->
+  load:(Pager.t -> unit) ->
+  unit ->
+  t
+(** Publish generation [tip + 1]: create its store file on a fresh pager,
+    run [load] to fill and save it (e.g. [Cover_store.load_cover] +
+    [save]), then commit a manifest with [live = tip + 1] and [previous]
+    set to the old live generation.  The manifest commit is the atomic
+    flip point; until it completes, a crash leaves the old manifest
+    intact and at worst a stray half-written [tip + 1] file that
+    {!recover} deletes. *)
+
+val rollback : ?vfs:Vfs.t -> ?fsync:bool -> base:string -> unit -> t
+(** Swap [live] and [previous] (a no-op when they are equal): serving
+    returns to the pre-flip generation.  [tip] is untouched, so the next
+    {!publish} still writes [tip + 1] — rolling back never reuses a
+    generation number. *)
+
+val recover : ?vfs:Vfs.t -> base:string -> unit -> t option
+(** Crash recovery at open time.  Rolls back a hot manifest journal,
+    deletes a stray [tip + 1] store file left by an interrupted
+    {!publish}, and returns the committed manifest.  Returns [None] when
+    the manifest is absent — including the one legitimate torn state, a
+    crash inside the very first {!commit} before any page was durable (the
+    partial file is removed); a manifest that ever completed a commit is
+    journal-protected and re-raises its corruption instead. *)

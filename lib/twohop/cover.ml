@@ -8,6 +8,7 @@ type t = {
   lin_inv : (int, Ihs.t) Hashtbl.t;
   lout_inv : (int, Ihs.t) Hashtbl.t;
   mutable size : int;
+  mutable on_change : (int -> unit) option;
 }
 
 let create ?(initial = 64) () =
@@ -17,7 +18,12 @@ let create ?(initial = 64) () =
     lin_inv = Hashtbl.create initial;
     lout_inv = Hashtbl.create initial;
     size = 0;
+    on_change = None;
   }
+
+let set_on_label_change t f = t.on_change <- f
+
+let notify t v = match t.on_change with Some f -> f v | None -> ()
 
 let bucket h k =
   match Hashtbl.find_opt h k with
@@ -46,7 +52,8 @@ let add_in t ~node ~center =
     if not (Ihs.mem s center) then begin
       Ihs.add s center;
       Ihs.add (bucket t.lin_inv center) node;
-      t.size <- t.size + 1
+      t.size <- t.size + 1;
+      notify t node
     end
   end
 
@@ -57,7 +64,8 @@ let add_out t ~node ~center =
     if not (Ihs.mem s center) then begin
       Ihs.add s center;
       Ihs.add (bucket t.lout_inv center) node;
-      t.size <- t.size + 1
+      t.size <- t.size + 1;
+      notify t node
     end
   end
 
@@ -164,23 +172,27 @@ let union_into ~dst src =
 let set_labels t fwd inv node set =
   add_node t node;
   let old = get fwd node in
+  let changed = ref false in
   Ihs.iter
     (fun w ->
       if not (Int_set.mem w set) then begin
         Ihs.remove (bucket inv w) node;
-        t.size <- t.size - 1
+        t.size <- t.size - 1;
+        changed := true
       end)
     old;
   Int_set.iter
     (fun w ->
       if w <> node && not (Ihs.mem old w) then begin
         Ihs.add (bucket inv w) node;
-        t.size <- t.size + 1
+        t.size <- t.size + 1;
+        changed := true
       end)
     set;
   let fresh = Ihs.create ~initial:(Int_set.cardinal set) () in
   Int_set.iter (fun w -> if w <> node then Ihs.add fresh w) set;
-  Hashtbl.replace fwd node fresh
+  Hashtbl.replace fwd node fresh;
+  if !changed then notify t node
 
 let set_lin t node set = set_labels t t.lin t.lin_inv node set
 
@@ -196,7 +208,8 @@ let remove_node t v =
         let s = get t.lin n in
         if Ihs.mem s v then begin
           Ihs.remove s v;
-          t.size <- t.size - 1
+          t.size <- t.size - 1;
+          notify t n
         end)
       (get t.lin_inv v);
     Ihs.iter
@@ -204,13 +217,15 @@ let remove_node t v =
         let s = get t.lout n in
         if Ihs.mem s v then begin
           Ihs.remove s v;
-          t.size <- t.size - 1
+          t.size <- t.size - 1;
+          notify t n
         end)
       (get t.lout_inv v);
     Hashtbl.remove t.lin_inv v;
     Hashtbl.remove t.lout_inv v;
     Hashtbl.remove t.lin v;
-    Hashtbl.remove t.lout v
+    Hashtbl.remove t.lout v;
+    notify t v
   end
 
 let copy t =

@@ -74,3 +74,14 @@ val remove_node : t -> int -> unit
 (** Drop the node's labels and all label entries naming it as a center. *)
 
 val copy : t -> t
+(** Deep copy of the label tables.  The change hook is {e not} copied. *)
+
+val set_on_label_change : t -> (int -> unit) option -> unit
+(** Install (or clear) a hook called with a node id whenever that node's
+    [Lin] or [Lout] set actually changes — label additions, wholesale
+    replacement, and the backward-index fan-out of {!remove_node} all
+    report every affected node.  Pure registration churn ({!add_node})
+    does not fire.  The generational serving layer uses this to track
+    which cached label arrays a maintenance batch dirtied.  The hook runs
+    synchronously under the mutation and must not call back into the
+    cover. *)

@@ -2,10 +2,16 @@ type t = {
   lin : (int, (int, int) Hashtbl.t) Hashtbl.t;
   lout : (int, (int, int) Hashtbl.t) Hashtbl.t;
   mutable size : int;
+  mutable on_change : (int -> unit) option;
 }
 
 let create ?(initial = 64) () =
-  { lin = Hashtbl.create initial; lout = Hashtbl.create initial; size = 0 }
+  { lin = Hashtbl.create initial; lout = Hashtbl.create initial; size = 0;
+    on_change = None }
+
+let set_on_label_change t f = t.on_change <- f
+
+let notify t v = match t.on_change with Some f -> f v | None -> ()
 
 let bucket h v =
   match Hashtbl.find_opt h v with
@@ -31,10 +37,13 @@ let add_entry t h ~node ~center ~dist =
     let m = bucket h node in
     match Hashtbl.find_opt m center with
     | Some d when d <= dist -> ()
-    | Some _ -> Hashtbl.replace m center dist
+    | Some _ ->
+      Hashtbl.replace m center dist;
+      notify t node
     | None ->
       Hashtbl.add m center dist;
-      t.size <- t.size + 1
+      t.size <- t.size + 1;
+      notify t node
   end
 
 let add_in t ~node ~center ~dist = add_entry t t.lin ~node ~center ~dist
@@ -90,8 +99,11 @@ let clear_side t h v =
   match Hashtbl.find_opt h v with
   | None -> ()
   | Some m ->
-    t.size <- t.size - Hashtbl.length m;
-    Hashtbl.replace h v (Hashtbl.create 4)
+    if Hashtbl.length m > 0 then begin
+      t.size <- t.size - Hashtbl.length m;
+      Hashtbl.replace h v (Hashtbl.create 4);
+      notify t v
+    end
 
 let clear_lout t v = clear_side t t.lout v
 
@@ -106,7 +118,8 @@ let filter_side t h v ~keep =
       (fun w ->
         Hashtbl.remove m w;
         t.size <- t.size - 1)
-      dead
+      dead;
+    if dead <> [] then notify t v
 
 let filter_lin t v ~keep = filter_side t t.lin v ~keep
 
@@ -121,13 +134,15 @@ let remove_node t v =
     (* entries naming v as a center *)
     let strip h =
       Hashtbl.iter
-        (fun _ m ->
+        (fun n m ->
           if Hashtbl.mem m v then begin
             Hashtbl.remove m v;
-            t.size <- t.size - 1
+            t.size <- t.size - 1;
+            notify t n
           end)
         h
     in
     strip t.lin;
-    strip t.lout
+    strip t.lout;
+    notify t v
   end

@@ -261,6 +261,177 @@ let prop_crash_soak =
       let m = reopen_mat () in
       m = a1 || m = a2)
 
+(* {1 Generation-flip crash matrix}
+
+   The zero-downtime flip publishes a new generation store and commits a
+   one-page manifest naming it; the manifest commit is the only atomic
+   point.  Crash at every I/O op of [Manifest.publish] and
+   [Manifest.rollback]: recovery must yield a manifest naming either the
+   old or the new generation in full, with the named store file intact —
+   never a mixture, never a stray half-written sibling. *)
+
+let gen_base = "live.db"
+
+let gen_dom = List.init 16 Fun.id
+
+(* generation 0 is a 16-node chain; the churned generation closes it into
+   a cycle — guaranteed to answer every (v, u<v) pair differently *)
+let chain_graph () =
+  let g = Digraph.create () in
+  for v = 0 to 15 do
+    Digraph.add_node g v
+  done;
+  for v = 0 to 14 do
+    Digraph.add_edge g v (v + 1)
+  done;
+  g
+
+let churned_graph () =
+  let g = chain_graph () in
+  Digraph.add_edge g 15 0;
+  g
+
+let gen_matrix vfs live =
+  let pgr = Pager.open_vfs ~pool_pages:8 ~vfs (Manifest.gen_path ~base:gen_base live) in
+  Fun.protect ~finally:(fun () -> Pager.close pgr) @@ fun () ->
+  let st = Cover_store.open_pager pgr in
+  let m = List.map (fun u -> List.map (Cover_store.connected st u) gen_dom) gen_dom in
+  check_int "generation store verifies clean" 0 (List.length (Pager.verify_pages pgr));
+  m
+
+let publish_churned vfs =
+  let cover, _ = Hopi_twohop.Builder.build (Closure.compute (churned_graph ())) in
+  Manifest.publish ~vfs ~pool_pages:8 ~base:gen_base
+    ~load:(fun pgr ->
+      let st = Cover_store.create pgr in
+      Cover_store.load_cover st cover;
+      Cover_store.save st)
+    ()
+
+(* a crash may fire inside a [Fun.protect] finally (pager close), where the
+   stdlib wraps it — both shapes are the same simulated power cut *)
+let run_crashing f =
+  match f () with
+  | _ -> `Completed
+  | exception Fv.Crash -> `Crashed
+  | exception Fun.Finally_raised Fv.Crash -> `Crashed
+
+let setup_family () =
+  let fv = Fv.create () in
+  let vfs = Fv.vfs fv in
+  check_bool "no manifest on a fresh volume" true
+    (Manifest.recover ~vfs ~base:gen_base () = None);
+  let cover, _ = Hopi_twohop.Builder.build (Closure.compute (chain_graph ())) in
+  let pgr = Pager.create_vfs ~pool_pages:8 ~vfs gen_base in
+  let st = Cover_store.create pgr in
+  Cover_store.load_cover st cover;
+  Cover_store.save st;
+  Pager.close pgr;
+  Manifest.commit ~vfs ~base:gen_base { Manifest.live = 0; previous = 0; tip = 0 };
+  (fv, vfs)
+
+let test_flip_crash_matrix () =
+  let fv, vfs = setup_family () in
+  let s0 = Fv.snapshot fv in
+  let a0 = gen_matrix vfs 0 in
+  (* probe a fault-free publish for its op count and the new answers *)
+  Fv.reset_ops fv;
+  let m1 = publish_churned vfs in
+  let n_ops = Fv.op_count fv in
+  check_bool "publish does real I/O" true (n_ops > 10);
+  check_int "publish serves the new generation" 1 m1.Manifest.live;
+  check_int "old generation is the rollback target" 0 m1.Manifest.previous;
+  check_int "tip advanced" 1 m1.Manifest.tip;
+  let a1 = gen_matrix vfs 1 in
+  check_bool "churn changes the answers" true (a0 <> a1);
+  let old_new = ref (0, 0) in
+  List.iter
+    (fun (mode, tear) ->
+      for k = 0 to n_ops do
+        Fv.restore fv s0;
+        Fv.reset_ops fv;
+        Fv.arm_crash fv ~op:k ~mode ?tear ();
+        (match run_crashing (fun () -> publish_churned vfs) with
+        | `Completed ->
+          if k < n_ops then Alcotest.failf "crash at op %d did not fire" k;
+          Fv.disarm fv
+        | `Crashed ->
+          if k = n_ops then Alcotest.failf "spurious crash beyond op %d" k);
+        match Manifest.recover ~vfs ~base:gen_base () with
+        | None -> Alcotest.failf "manifest lost after a crash at op %d" k
+        | Some m ->
+          (* the manifest is all-old or all-new — and the generation it
+             names answers exactly like that side of the flip *)
+          (match (m.Manifest.live, m.Manifest.previous, m.Manifest.tip) with
+          | 0, 0, 0 ->
+            old_new := (fst !old_new + 1, snd !old_new);
+            if gen_matrix vfs 0 <> a0 then
+              Alcotest.failf "crash at op %d corrupted the old generation" k;
+            (* an interrupted publish may leave a stray tip+1 file; recovery
+               must have deleted it *)
+            check_bool
+              (Printf.sprintf "stray gen file removed (op %d)" k)
+              false
+              (vfs.Vfs.exists (Manifest.gen_path ~base:gen_base 1))
+          | 1, 0, 1 ->
+            old_new := (fst !old_new, snd !old_new + 1);
+            if gen_matrix vfs 1 <> a1 then
+              Alcotest.failf "crash at op %d corrupted the new generation" k
+          | l, p, t ->
+            Alcotest.failf "crash at op %d recovered to a mixed manifest {%d;%d;%d}"
+              k l p t)
+      done)
+    [
+      (Fv.Drop_unsynced, None);
+      (Fv.Keep_unsynced, None);
+      (Fv.Drop_unsynced, Some 37);
+    ];
+  let old_side, new_side = !old_new in
+  check_int "matrix size" (3 * (n_ops + 1)) (old_side + new_side);
+  check_bool "interrupted flips stay on the old generation" true (old_side > 0);
+  check_bool "completed flips serve the new generation" true (new_side >= 3)
+
+let test_rollback_crash_matrix () =
+  let fv, vfs = setup_family () in
+  ignore (publish_churned vfs);
+  let a0 = gen_matrix vfs 0 and a1 = gen_matrix vfs 1 in
+  let s1 = Fv.snapshot fv in
+  (* probe a fault-free rollback *)
+  Fv.reset_ops fv;
+  let mr = Manifest.rollback ~vfs ~base:gen_base () in
+  let n_ops = Fv.op_count fv in
+  check_int "rollback serves the previous generation" 0 mr.Manifest.live;
+  check_int "rollback keeps the flipped store" 1 mr.Manifest.previous;
+  check_int "tip never rewinds" 1 mr.Manifest.tip;
+  List.iter
+    (fun mode ->
+      for k = 0 to n_ops do
+        Fv.restore fv s1;
+        Fv.reset_ops fv;
+        Fv.arm_crash fv ~op:k ~mode ();
+        (match run_crashing (fun () -> Manifest.rollback ~vfs ~base:gen_base ()) with
+        | `Completed ->
+          if k < n_ops then Alcotest.failf "crash at op %d did not fire" k;
+          Fv.disarm fv
+        | `Crashed ->
+          if k = n_ops then Alcotest.failf "spurious crash beyond op %d" k);
+        match Manifest.recover ~vfs ~base:gen_base () with
+        | None -> Alcotest.failf "manifest lost after a crash at op %d" k
+        | Some m ->
+          let expect =
+            match (m.Manifest.live, m.Manifest.previous, m.Manifest.tip) with
+            | 1, 0, 1 -> a1 (* rollback did not commit *)
+            | 0, 1, 1 -> a0 (* rollback committed *)
+            | l, p, t ->
+              Alcotest.failf
+                "crash at op %d recovered to a mixed manifest {%d;%d;%d}" k l p t
+          in
+          if gen_matrix vfs m.Manifest.live <> expect then
+            Alcotest.failf "crash at op %d: generation %d answers wrong" k
+              m.Manifest.live
+      done)
+    [ Fv.Drop_unsynced; Fv.Keep_unsynced ]
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let suite =
@@ -270,6 +441,9 @@ let suite =
         Alcotest.test_case "crash-at-every-step matrix" `Quick test_crash_matrix;
         Alcotest.test_case "injected write failure" `Quick test_fail_nth_write;
         Alcotest.test_case "flipped byte is detected" `Quick test_byte_flip_detected;
+        Alcotest.test_case "generation flip crash matrix" `Quick test_flip_crash_matrix;
+        Alcotest.test_case "generation rollback crash matrix" `Quick
+          test_rollback_crash_matrix;
       ]
       @ qsuite [ prop_crash_soak ] );
   ]

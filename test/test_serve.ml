@@ -105,6 +105,56 @@ let test_cache_metrics () =
   checki "one hit" (h0 + 1) (Counter.get (Cache.hits ()));
   checki "one eviction" (e0 + 1) (Counter.get (Cache.evictions ()))
 
+(* versioned keys: one packed integer per (version, node, direction), no
+   collisions across a representative grid, and version 0 is exactly the
+   historical un-versioned key *)
+let test_cache_key_versioning () =
+  checki "default version is 0" (Cache.key Cache.Lout 5)
+    (Cache.key ~version:0 Cache.Lout 5);
+  checki "default version is 0 (Lin)" (Cache.key Cache.Lin 5)
+    (Cache.key ~version:0 Cache.Lin 5);
+  let seen = Hashtbl.create 256 in
+  List.iter
+    (fun version ->
+      List.iter
+        (fun node ->
+          List.iter
+            (fun (dname, dir) ->
+              let k = Cache.key ~version dir node in
+              (match Hashtbl.find_opt seen k with
+              | Some other ->
+                Alcotest.failf "key collision: (v=%d n=%d %s) vs %s" version
+                  node dname other
+              | None -> ());
+              Hashtbl.replace seen k
+                (Printf.sprintf "(v=%d n=%d %s)" version node dname))
+            [ ("in", Cache.Lin); ("out", Cache.Lout) ])
+        [ 0; 1; 2; 63; 4095; 1_000_000 ])
+    [ 0; 1; 2; 3; 17; 1000 ];
+  checki "whole grid distinct" (6 * 6 * 2) (Hashtbl.length seen)
+
+(* remove: exact per-entry accounting, counted as an invalidation (not an
+   eviction), absent keys report false *)
+let test_cache_remove () =
+  let c = Cache.create ~shards:1 ~capacity_bytes:(capacity_for 4 10) () in
+  let k1 = Cache.key Cache.Lout 1 and k2 = Cache.key ~version:3 Cache.Lin 1 in
+  Cache.add c k1 (arr 10);
+  Cache.add c k2 (arr 10);
+  checki "two entries" 2 (Cache.entries c);
+  let i0 = Counter.get (Cache.invalidations ())
+  and e0 = Counter.get (Cache.evictions ()) in
+  checkb "remove present key" true (Cache.remove c k1);
+  checki "one entry left" 1 (Cache.entries c);
+  checki "bytes re-accounted exactly" (Cache.entry_cost (arr 10)) (Cache.bytes c);
+  checkb "removed key misses" true (Cache.find c k1 = None);
+  checkb "other version of the same node survives" true (Cache.find c k2 <> None);
+  checkb "remove absent key" false (Cache.remove c k1);
+  checki "one invalidation counted" (i0 + 1) (Counter.get (Cache.invalidations ()));
+  checki "no eviction counted" e0 (Counter.get (Cache.evictions ()));
+  checkb "remove last entry" true (Cache.remove c k2);
+  checki "empty" 0 (Cache.entries c);
+  checki "accounting back to zero" 0 (Cache.bytes c)
+
 (* worker domains hammer a small sharded cache with overlapping keys; the
    cache must neither crash nor leak past its budget, and every completed
    add of a still-resident key must return the right payload *)
@@ -370,6 +420,9 @@ let suite =
           test_cache_oversize_skipped;
         Alcotest.test_case "capacity 0 disables the cache" `Quick test_cache_disabled;
         Alcotest.test_case "hit/miss/eviction metrics" `Quick test_cache_metrics;
+        Alcotest.test_case "versioned key packing is injective" `Quick
+          test_cache_key_versioning;
+        Alcotest.test_case "remove balances the accounting" `Quick test_cache_remove;
         Alcotest.test_case "sharded cache is pool-safe" `Quick test_cache_pool_safety;
       ] );
     ( "serve.batch",
