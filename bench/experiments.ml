@@ -663,6 +663,8 @@ let query_throughput (s : scale) =
   let mismatches = ref 0 in
   let rows = ref [] in
   let jobs_list = [ 1; 2; 4 ] in
+  (* cold qps per (workload, jobs), for the cold-scaling gauges below *)
+  let cold_tbl = Hashtbl.create 8 in
   List.iter
     (fun (wname, queries) ->
       let expected = oracle queries in
@@ -705,6 +707,7 @@ let query_throughput (s : scale) =
           g "cold_qps" (int_of_float cold_qps);
           g "warm_qps" (int_of_float warm_qps);
           g "warm_speedup_pct" (int_of_float (100.0 *. speedup));
+          Hashtbl.replace cold_tbl (wname, jobs) cold_qps;
           rows :=
             [
               wname; string_of_int jobs;
@@ -722,8 +725,30 @@ let query_throughput (s : scale) =
   note "uncached Cover_store probes.";
   note "answer mismatches against the oracle: %d" !mismatches;
   if !mismatches > 0 then failwith "query_throughput: answers diverge from the oracle";
-  if Domain.recommended_domain_count () = 1 then
-    note "NOTE: one core available — speedups here come from the cache, not the pool."
+  (* the cold-scaling gate: cold throughput must not fall as reader
+     domains are added — the shared read path's whole point.  Published
+     as a percentage (jobs=4 cold qps / jobs=1 cold qps) so the bench
+     regression gate can hold the line at > 100 on multi-core runners. *)
+  List.iter
+    (fun (wname, _) ->
+      match
+        ( Hashtbl.find_opt cold_tbl (wname, 1),
+          Hashtbl.find_opt cold_tbl (wname, 4) )
+      with
+      | Some c1, Some c4 ->
+        let pct = 100.0 *. c4 /. Float.max c1 1e-9 in
+        Hopi_obs.Gauge.set
+          (Hopi_obs.Registry.gauge
+             (Printf.sprintf "bench_query_cold_scaling_pct_%s" wname))
+          (int_of_float pct);
+        note "cold scaling (%s): jobs=4 runs at %.0f%% of jobs=1" wname pct
+      | _ -> ())
+    workloads;
+  if Domain.recommended_domain_count () < 4 then
+    note
+      "NOTE: %d core(s) available — cold-scaling percentages are not \
+       meaningful here; the CI gate runs on a 4-core runner."
+      (Domain.recommended_domain_count ())
 
 (* {1 Live serving: generational flips under churn} *)
 

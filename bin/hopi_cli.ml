@@ -737,8 +737,9 @@ let serve_cmd =
                  throughput on piped workloads).")
   in
   let pool_pages =
-    Arg.(value & opt int 256 & info [ "pool-pages" ] ~docv:"N"
-           ~doc:"Buffer-pool pages of each per-domain pager.")
+    Arg.(value & opt int 4096 & info [ "pool-pages" ] ~docv:"N"
+           ~doc:"Pages of the shared read-only page pool all reader \
+                 domains probe (4 KiB each; the default is 16 MiB).")
   in
   let corpus =
     Arg.(value & opt (some dir) None & info [ "corpus" ] ~docv:"DIR"

@@ -65,6 +65,7 @@ type t = {
   base : string;
   index : Hopi.t;
   cache : Label_cache.t;
+  page_pool : S.Pager.Read_pool.t; (* one read pool across all generations *)
   pool_pages : int;
   retain : int;
   fsync : bool;
@@ -138,7 +139,7 @@ let node_version_fn t =
 
 let open_slot t g =
   let snap =
-    Snapshot.open_file ~pool_pages:t.pool_pages ~cache:t.cache ~epoch:g
+    Snapshot.open_file ~pool:t.page_pool ~cache:t.cache ~epoch:g
       ~node_version:(node_version_fn t)
       (S.Manifest.gen_path ~base:t.base g)
   in
@@ -169,11 +170,14 @@ let sweep_locked t =
 
 (* {1 Lifecycle} *)
 
-let create ?(pool_pages = 256) ?(cache_mb = 64) ?shards ?(retain = 2)
+let create ?(pool_pages = 4096) ?(cache_mb = 64) ?shards ?(retain = 2)
     ?(fsync = true) ?(with_dist = false) ~base index =
   let cache =
     Label_cache.create ?shards ~capacity_bytes:(cache_mb * 1024 * 1024) ()
   in
+  (* one shared read pool for every generation this family will serve:
+     pages untouched by a flip stay warm across the swap *)
+  let page_pool = S.Pager.Read_pool.create ~pages:pool_pages () in
   let manifest =
     match S.Manifest.recover ~base () with
     | Some m -> m
@@ -192,12 +196,12 @@ let create ?(pool_pages = 256) ?(cache_mb = 64) ?shards ?(retain = 2)
       m
   in
   let snap =
-    Snapshot.open_file ~pool_pages ~cache ~epoch:manifest.S.Manifest.live
+    Snapshot.open_file ~pool:page_pool ~cache ~epoch:manifest.S.Manifest.live
       (S.Manifest.gen_path ~base manifest.S.Manifest.live)
   in
   let slot = { id = manifest.S.Manifest.live; snap; refs = 0 } in
   let t =
-    { base; index; cache; pool_pages; retain; fsync; with_dist;
+    { base; index; cache; page_pool; pool_pages; retain; fsync; with_dist;
       wmu = Mutex.create (); mu = Mutex.create (); dirty = Ihs.create ();
       versions = Hashtbl.create 256; floor = 0; need_floor = false;
       tracked_cover = Hopi.cover index; tracked_dist = None; manifest;

@@ -55,7 +55,10 @@ val create :
     there, and a fresh manifest is committed.  [retain] (default 2) is how
     many generations beyond the live/rollback pair keep their store files
     on disk; [with_dist] selects distance-aware stores
-    ({!Hopi_core.Hopi.distance_index}) over plain covers.  The caller must
+    ({!Hopi_core.Hopi.distance_index}) over plain covers.  [pool_pages]
+    (default 4096) sizes the {e one} shared read-only page pool every
+    generation's snapshot serves from — pages of store regions a flip did
+    not rewrite stay warm across the swap.  The caller must
     not mutate the index except through {!apply}/{!apply_with}. *)
 
 (** {1 Reader side} *)

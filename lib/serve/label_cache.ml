@@ -8,6 +8,7 @@
 module Registry = Hopi_obs.Registry
 module Counter = Hopi_obs.Counter
 module Gauge = Hopi_obs.Gauge
+module Label_codec = Hopi_twohop.Label_codec
 
 let m_hits =
   Registry.counter "hopi_serve_cache_hits_total"
@@ -43,7 +44,7 @@ let key ?(version = 0) dir node =
 
 type entry = {
   key : int;
-  value : int array;
+  value : Label_codec.t;
   cost : int;
   mutable prev : entry option; (* towards MRU *)
   mutable next : entry option; (* towards LRU *)
@@ -60,9 +61,9 @@ type shard = {
 
 type t = { shards : shard array; mask : int }
 
-(* Payload words + fixed bookkeeping overhead (hash slot, list entry,
-   array header), in bytes. *)
-let entry_cost value = (8 * Array.length value) + 96
+(* Payload bytes + fixed bookkeeping overhead (hash slot, list entry,
+   buffer header), in bytes. *)
+let entry_cost value = Bytes.length value + 96
 
 let rec next_pow2 n k = if k >= n then k else next_pow2 n (k * 2)
 

@@ -4,8 +4,9 @@
     same nodes over and over (real query workloads are heavily skewed), and
     every uncached fetch is a B+-tree range scan through the pager — page
     cache probes, CRC verification on misses, per-row closure calls.  This
-    cache keeps the materialised label arrays in memory so a hot fetch is
-    one hash probe.
+    cache keeps the materialised label sets in memory — in their
+    delta-encoded {!Hopi_twohop.Label_codec} form, a few bytes per row —
+    so a hot fetch is one hash probe.
 
     Concurrency: the key space is split across [shards] independent
     sub-caches, each protected by its own mutex, so worker domains serving
@@ -13,7 +14,7 @@
     callers must treat the returned array as read-only (it is shared with
     every other reader of that key).
 
-    Size accounting: each entry is charged its payload words plus a fixed
+    Size accounting: each entry is charged its payload bytes plus a fixed
     bookkeeping overhead ({!entry_cost}); a shard evicts from its LRU end
     until it is back under its slice of [capacity_bytes].  An entry larger
     than a whole shard slice is not cached at all (caching it would evict
@@ -48,11 +49,11 @@ val create : ?shards:int -> capacity_bytes:int -> unit -> t
 
 val enabled : t -> bool
 
-val find : t -> int -> int array option
-(** [find t key] returns the cached array and promotes the entry to
-    most-recently-used.  Counts a hit or a miss. *)
+val find : t -> int -> Hopi_twohop.Label_codec.t option
+(** [find t key] returns the cached encoded label set and promotes the
+    entry to most-recently-used.  Counts a hit or a miss. *)
 
-val add : t -> int -> int array -> unit
+val add : t -> int -> Hopi_twohop.Label_codec.t -> unit
 (** Insert (or replace) the entry, evicting least-recently-used entries of
     the same shard as needed.  The cache takes ownership of nothing: the
     caller must not mutate [value] afterwards. *)
@@ -73,7 +74,7 @@ val entries : t -> int
 
 val capacity_bytes : t -> int
 
-val entry_cost : int array -> int
+val entry_cost : Hopi_twohop.Label_codec.t -> int
 (** The bytes an entry with this payload is charged — exposed so tests can
     account for the eviction bound exactly. *)
 

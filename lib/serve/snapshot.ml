@@ -1,21 +1,25 @@
-(* Read-only snapshot over a persisted store with per-domain pagers and a
-   shared label cache (see the interface for the concurrency model).
+(* Read-only snapshot over a persisted store: one shared store handle for
+   all domains, served through a shared read-only page pool (see the
+   interface for the concurrency model).
 
-   Label sets are materialised as flattened [| center0; dist0; center1;
-   dist1; ... |] arrays sorted by (center, dist) — exactly the order of a
-   forward-index range scan — so the cover queries below are array merges
-   mirroring Cover_store's B+-tree merges row for row.  Keeping the two
+   Label sets travel in the delta-encoded Label_codec layout — rows
+   sorted by (center, dist), exactly the order of a forward-index range
+   scan — so the cover queries below are codec stream merges mirroring
+   Cover_store's B+-tree merges row for row.  Keeping the two
    implementations answer-identical is load-bearing: the differential
    tests compare them pairwise. *)
 
 module S = Hopi_storage
 module Ihs = Hopi_util.Int_hashset
+module Codec = Hopi_twohop.Label_codec
 
 type handle = Cover of S.Cover_store.t | Closure of S.Closure_store.t
 
 type t = {
   path : string;
-  pool_pages : int;
+  pool : S.Pager.Read_pool.t;
+  pgr : S.Pager.t;
+  handle : handle;
   cache : Label_cache.t;
   epoch : int;
   node_version : int -> int; (* frozen at open: cache-key version per node *)
@@ -24,74 +28,57 @@ type t = {
   nodes : Ihs.t; (* cover: registry frozen at open; closure: unused *)
   n_nodes : int;
   n_entries : int;
-  mu : Mutex.t; (* guards handles/pagers/closed *)
-  handles : (int, handle) Hashtbl.t; (* domain id -> private store handle *)
-  mutable pagers : S.Pager.t list;
+  mu : Mutex.t; (* close idempotency *)
   mutable closed : bool;
 }
 
-let domain_key () = (Domain.self () :> int)
-
 let default_version _ = 0
 
-let open_file ?(pool_pages = 256) ?(cache_mb = 64) ?shards ?cache ?(epoch = 0)
-    ?(node_version = default_version) path =
-  let pgr = S.Pager.open_existing ~pool_pages path in
+let open_file ?(pool_pages = 4096) ?pool ?vfs ?(cache_mb = 64) ?shards ?cache
+    ?(epoch = 0) ?(node_version = default_version) path =
+  let vfs = match vfs with Some v -> v | None -> S.Vfs.real in
+  let pool =
+    match pool with
+    | Some p -> p
+    | None -> S.Pager.Read_pool.create ~pages:pool_pages ()
+  in
+  let pgr = S.Pager.open_shared_vfs ~vfs ~pool path in
   let cache =
     match cache with
     | Some c -> c
     | None -> Label_cache.create ?shards ~capacity_bytes:(cache_mb * 1024 * 1024) ()
   in
-  let handles = Hashtbl.create 8 in
   let cat = S.Catalog.read pgr in
-  let kind, with_dist, nodes, n_nodes, n_entries =
+  let handle, kind, with_dist, nodes, n_nodes, n_entries =
     match cat.S.Catalog.kind with
     | S.Catalog.Cover ->
       let st = S.Cover_store.open_pager pgr in
       let nodes = Ihs.create () in
       S.Cover_store.iter_nodes st (Ihs.add nodes);
-      Hashtbl.add handles (domain_key ()) (Cover st);
-      (`Cover, S.Cover_store.with_dist st, nodes, S.Cover_store.n_nodes st,
-       S.Cover_store.n_entries st)
+      (Cover st, `Cover, S.Cover_store.with_dist st, nodes,
+       S.Cover_store.n_nodes st, S.Cover_store.n_entries st)
     | S.Catalog.Closure ->
       let st = S.Closure_store.open_pager pgr in
-      Hashtbl.add handles (domain_key ()) (Closure st);
-      (`Closure, false, Ihs.create (), 0, S.Closure_store.n_connections st)
+      (Closure st, `Closure, false, Ihs.create (), 0,
+       S.Closure_store.n_connections st)
   in
-  { path; pool_pages; cache; epoch; node_version; kind; with_dist; nodes;
-    n_nodes; n_entries; mu = Mutex.create (); handles; pagers = [ pgr ];
-    closed = false }
+  { path; pool; pgr; handle; cache; epoch; node_version; kind; with_dist;
+    nodes; n_nodes; n_entries; mu = Mutex.create (); closed = false }
 
-(* The pager/btree stack is single-domain, so each worker domain gets a
-   private handle onto the same committed file, opened lazily on first
-   use.  The file is never written through these, so the handles cannot
-   diverge. *)
+(* The pager is a shared read-only view: the B+-tree read path touches no
+   mutable pager state, page lookups go through the sharded pool, and
+   miss I/O serialises inside the pager — so one handle serves every
+   domain without a per-query lock. *)
 let handle t =
-  let id = domain_key () in
-  Mutex.lock t.mu;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) @@ fun () ->
   if t.closed then invalid_arg "Hopi_serve.Snapshot: closed";
-  match Hashtbl.find_opt t.handles id with
-  | Some h -> h
-  | None ->
-    let pgr = S.Pager.open_existing ~pool_pages:t.pool_pages t.path in
-    let h =
-      match t.kind with
-      | `Cover -> Cover (S.Cover_store.open_pager pgr)
-      | `Closure -> Closure (S.Closure_store.open_pager pgr)
-    in
-    Hashtbl.add t.handles id h;
-    t.pagers <- pgr :: t.pagers;
-    h
+  t.handle
 
 let close t =
   Mutex.lock t.mu;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) @@ fun () ->
   if not t.closed then begin
     t.closed <- true;
-    List.iter S.Pager.close t.pagers;
-    t.pagers <- [];
-    Hashtbl.reset t.handles
+    S.Pager.close t.pgr
   end
 
 let kind t = t.kind
@@ -108,6 +95,8 @@ let path t = t.path
 
 let epoch t = t.epoch
 
+let read_pool t = t.pool
+
 (* {1 Label fetch} *)
 
 type dir = Lin | Lout
@@ -121,79 +110,18 @@ let labels t st dir v =
   Hopi_obs.Reqtrace.Local.note_label_probe ();
   let key = cache_key t dir v in
   match Label_cache.find t.cache key with
-  | Some arr -> arr
+  | Some enc -> enc
   | None ->
-    let acc = ref [] and n = ref 0 in
-    let add ~center ~dist =
-      acc := (center, dist) :: !acc;
-      incr n
-    in
+    (* the range scan visits rows ascending by (center, dist): exactly
+       the encoder's input order, so encoding streams with no staging *)
+    let e = Codec.Enc.create () in
+    let add ~center ~dist = Codec.Enc.row e ~center ~dist in
     (match dir with
      | Lin -> S.Cover_store.iter_lin st v add
      | Lout -> S.Cover_store.iter_lout st v add);
-    let arr = Array.make (2 * !n) 0 in
-    (* the scan visited rows ascending, so !acc is descending: fill backwards *)
-    let i = ref (2 * !n - 2) in
-    List.iter
-      (fun (c, d) ->
-        arr.(!i) <- c;
-        arr.(!i + 1) <- d;
-        i := !i - 2)
-      !acc;
-    Label_cache.add t.cache key arr;
-    arr
-
-(* {1 Flattened-array probes}
-
-   Rows are sorted by (center, dist), so the first row of a center run
-   carries that center's minimum distance. *)
-
-(* Index of the first row with this center, or -1. *)
-let find_center arr center =
-  let n = Array.length arr / 2 in
-  let lo = ref 0 and hi = ref n in
-  while !lo < !hi do
-    let mid = (!lo + !hi) / 2 in
-    if arr.(2 * mid) < center then lo := mid + 1 else hi := mid
-  done;
-  if !lo < n && arr.(2 * !lo) = center then !lo else -1
-
-let intersects a b =
-  let na = Array.length a / 2 and nb = Array.length b / 2 in
-  let rec go i j =
-    if i >= na || j >= nb then false
-    else begin
-      let ca = a.(2 * i) and cb = b.(2 * j) in
-      if ca < cb then go (i + 1) j else if cb < ca then go i (j + 1) else true
-    end
-  in
-  go 0 0
-
-(* min over common centers of (min dist in a's run + min dist in b's run) *)
-let merge_min a b =
-  let na = Array.length a / 2 and nb = Array.length b / 2 in
-  let skip_run arr n i =
-    let c = arr.(2 * i) in
-    let j = ref (i + 1) in
-    while !j < n && arr.(2 * !j) = c do
-      incr j
-    done;
-    !j
-  in
-  let rec go best i j =
-    if i >= na || j >= nb then best
-    else begin
-      let ca = a.(2 * i) and cb = b.(2 * j) in
-      if ca < cb then go best (skip_run a na i) j
-      else if cb < ca then go best i (skip_run b nb j)
-      else begin
-        let d = a.(2 * i + 1) + b.(2 * j + 1) in
-        let best = match best with Some x when x <= d -> Some x | _ -> Some d in
-        go best (skip_run a na i) (skip_run b nb j)
-      end
-    end
-  in
-  go None 0 0
+    let enc = Codec.Enc.finish e in
+    Label_cache.add t.cache key enc;
+    enc
 
 (* {1 Cover queries} *)
 
@@ -203,7 +131,7 @@ let connected_cover t st u v =
   else begin
     let lout = labels t st Lout u and lin = labels t st Lin v in
     (* compensating probes for the implicit self-entries, then the merge *)
-    find_center lout v >= 0 || find_center lin u >= 0 || intersects lout lin
+    Codec.mem lout v || Codec.mem lin u || Codec.intersects lout lin
   end
 
 let min_distance_cover t st u v =
@@ -211,17 +139,12 @@ let min_distance_cover t st u v =
   else if u = v then Some 0
   else begin
     let lout = labels t st Lout u and lin = labels t st Lin v in
-    let candidates =
-      List.filter_map Fun.id
-        [
-          (match find_center lout v with -1 -> None | i -> Some lout.((2 * i) + 1));
-          (match find_center lin u with -1 -> None | i -> Some lin.((2 * i) + 1));
-          merge_min lout lin;
-        ]
-    in
-    match candidates with
-    | [] -> None
-    | ds -> Some (List.fold_left min max_int ds)
+    let best = ref (-1) in
+    let note d = if d >= 0 && (!best < 0 || d < !best) then best := d in
+    note (Codec.find_min_dist lout v);
+    note (Codec.find_min_dist lin u);
+    note (Codec.merge_min lout lin);
+    if !best < 0 then None else Some !best
   end
 
 (* mirror of [Cover_store.descendants]/[ancestors], with the center list
@@ -237,17 +160,7 @@ let reach_set t st ~labels_dir ~scan u =
       scan st w (fun ~node ~dist:_ -> Ihs.add acc node)
     in
     via_center u;
-    let lbls = labels t st labels_dir u in
-    let n = Array.length lbls / 2 in
-    let i = ref 0 in
-    while !i < n do
-      let c = lbls.(2 * !i) in
-      via_center c;
-      (* skip the rest of this center's run (multi-distance rows) *)
-      while !i < n && lbls.(2 * !i) = c do
-        incr i
-      done
-    done
+    Codec.iter_centers (labels t st labels_dir u) via_center
   end;
   acc
 

@@ -5,26 +5,34 @@
     baseline, {!Hopi_storage.Closure_store}) and serves reachability and
     distance queries from it without ever writing a page.
 
-    Concurrency model: the pager and B+-tree layers are single-domain
-    structures, so the snapshot opens one private pager (and store handle)
-    {e per worker domain}, lazily, keyed by [Domain.self ()].  Domains
-    therefore never share mutable storage state; what they do share is the
-    immutable node registry (frozen into memory at open time) and the
-    {!Label_cache}, whose sharded entries are write-once arrays.  This is
+    Concurrency model: the snapshot opens the store {e once}, as a shared
+    read-only pager view ({!Hopi_storage.Pager.open_shared}) over a
+    sharded read-only page pool, and every worker domain probes that one
+    handle.  The B+-tree read path touches no mutable storage state; page
+    lookups go through the pool's sharded locks, miss I/O serialises
+    inside the pager, and a page any domain faulted in is warm for all of
+    them — which is what keeps cold throughput from collapsing as reader
+    domains are added (per-domain private pools thrashed and duplicated
+    every read).  What domains additionally share is the immutable node
+    registry (frozen into memory at open time) and the {!Label_cache},
+    whose sharded entries are write-once encoded label sets.  This is
     what makes batch evaluation on a {!Hopi_util.Pool} safe without a
     global lock.
 
     Query semantics are identical to the underlying store's — the 2-hop
     test [(Lout(u) ∪ {u}) ∩ (Lin(v) ∪ {v}) ≠ ∅] with the paper's
     compensating probes for the implicit self-entries, and
-    [min(dout(u,w) + din(w,v))] for distances — but label sets are fetched
-    through the cache as sorted arrays, so a warm probe is two array
+    [min(dout(u,w) + din(w,v))] for distances — but label sets are
+    fetched through the cache in their delta-encoded
+    {!Hopi_twohop.Label_codec} form, so a warm probe is two codec stream
     merges instead of two B+-tree range scans. *)
 
 type t
 
 val open_file :
   ?pool_pages:int ->
+  ?pool:Hopi_storage.Pager.Read_pool.t ->
+  ?vfs:Hopi_storage.Vfs.t ->
   ?cache_mb:int ->
   ?shards:int ->
   ?cache:Label_cache.t ->
@@ -32,27 +40,32 @@ val open_file :
   ?node_version:(int -> int) ->
   string ->
   t
-(** Attach to a committed page file.  [pool_pages] (default 256) sizes
-    each per-domain pager's buffer pool; [cache_mb] (default 64) is the
-    label-cache budget, 0 disables caching; [shards] is passed to
-    {!Label_cache.create}.
+(** Attach to a committed page file.  [pool_pages] (default 4096 pages =
+    16 MiB) sizes the shared read-only page pool created for this
+    snapshot; [pool] plugs in an externally owned
+    {!Hopi_storage.Pager.Read_pool} instead (ignoring [pool_pages]) — the
+    generational serving layer shares one pool across generations this
+    way.  [vfs] (default the real file system) is the backing
+    {!Hopi_storage.Vfs}, used by the fault-injection tests to exercise
+    torn and failing reads through the shared read path.
 
-    [cache] plugs in an externally owned {!Label_cache} instead of
-    creating a private one (ignoring [cache_mb]/[shards]) — the
-    generational serving layer shares one cache across generations this
-    way.  [epoch] (default 0) tags the snapshot with the generation it was
-    opened against; it is purely descriptive here and reported by
-    {!epoch}.  [node_version] (default: constant 0) supplies the
-    cache-key version of each node's labels ({!Label_cache.key}); it is
-    captured at open time and must be immutable — a frozen map, not a view
-    of live writer state — so every label fetched through this snapshot
-    resolves to the same versioned key for its whole lifetime.
+    [cache_mb] (default 64) is the label-cache budget, 0 disables
+    caching; [shards] is passed to {!Label_cache.create}.  [cache] plugs
+    in an externally owned {!Label_cache} instead of creating a private
+    one (ignoring [cache_mb]/[shards]).  [epoch] (default 0) tags the
+    snapshot with the generation it was opened against; it is purely
+    descriptive here and reported by {!epoch}.  [node_version] (default:
+    constant 0) supplies the cache-key version of each node's labels
+    ({!Label_cache.key}); it is captured at open time and must be
+    immutable — a frozen map, not a view of live writer state — so every
+    label fetched through this snapshot resolves to the same versioned
+    key for its whole lifetime.
     @raise Hopi_storage.Storage_error.Storage_error on a missing file, a
     corrupt catalog, or an unrecoverable journal. *)
 
 val close : t -> unit
-(** Release every per-domain pager.  Call from the domain that owns the
-    pool after all in-flight batches have drained. *)
+(** Release the shared pager (dropping this snapshot's pages from the
+    read pool).  Call after all in-flight batches have drained. *)
 
 val kind : t -> [ `Cover | `Closure ]
 
@@ -68,6 +81,10 @@ val n_entries : t -> int
 (** Label entries (cover) or connections (closure). *)
 
 val cache : t -> Label_cache.t
+
+val read_pool : t -> Hopi_storage.Pager.Read_pool.t
+(** The shared page pool this snapshot serves from (its own, or the one
+    passed as [pool]). *)
 
 val path : t -> string
 

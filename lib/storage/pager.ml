@@ -1,4 +1,5 @@
 module Counter = Hopi_obs.Counter
+module Gauge = Hopi_obs.Gauge
 module Registry = Hopi_obs.Registry
 
 let log = Logs.Src.create "hopi.storage.pager" ~doc:"Buffer-managed page store"
@@ -52,7 +53,208 @@ let m_commits =
   Registry.counter "hopi_storage_commits_total"
     ~help:"Atomic commits (checkpointed saves)"
 
+(* Shared read-pool counters are deliberately separate from the private
+   buffer-pool counters above: the private series is what builders and
+   writers do, the shared series is what the serving read path does, and
+   attributing one to the other is exactly the confusion the shared pool
+   exists to remove. *)
+
+let m_shared_hits =
+  Registry.counter "hopi_storage_shared_pool_hits_total"
+    ~help:"Shared read-pool hits (serving snapshots, all domains)"
+
+let m_shared_misses =
+  Registry.counter "hopi_storage_shared_pool_misses_total"
+    ~help:"Shared read-pool misses (each one is a page read off the store)"
+
+let m_shared_evictions =
+  Registry.counter "hopi_storage_shared_pool_evictions_total"
+    ~help:"Pages evicted from shared read pools to stay within budget"
+
+let g_shared_pages =
+  Registry.gauge "hopi_storage_shared_pool_pages"
+    ~help:"Pages resident across all shared read pools"
+
 type backend = Memory | File of string
+
+(* {1 Shared read-only page pool}
+
+   A sharded-lock LRU over verified page images, shared by every domain
+   (and every snapshot generation) serving reads from immutable store
+   files.  Entries are immutable [Page.t] buffers: eviction merely drops
+   the table reference, so a reader holding a page across an eviction
+   keeps a valid image — there is no write-back and no mutation, which is
+   what makes lock-free page *use* safe under a locked page *lookup*.
+
+   Keys pack (tag, page id); a tag is allocated per attached pager, so
+   several files — or several generations of the same file — share one
+   pool without colliding, and closing a pager drops exactly its pages. *)
+
+module Read_pool = struct
+  type entry = {
+    key : int;
+    page : Page.t;
+    mutable prev : entry option; (* towards MRU *)
+    mutable next : entry option; (* towards LRU *)
+  }
+
+  type shard = {
+    mu : Mutex.t;
+    tbl : (int, entry) Hashtbl.t;
+    mutable mru : entry option;
+    mutable lru : entry option;
+    mutable resident : int;
+    cap : int;
+    mutable hits : int;
+    mutable misses : int;
+    mutable evictions : int;
+  }
+
+  type t = {
+    shards : shard array;
+    mask : int;
+    tag_mu : Mutex.t;
+    mutable next_tag : int;
+  }
+
+  type stats = {
+    capacity : int;
+    resident : int;
+    hits : int;
+    misses : int;
+    evictions : int;
+  }
+
+  let rec next_pow2 n k = if k >= n then k else next_pow2 n (2 * k)
+
+  let create ?(shards = 16) ~pages () =
+    let n = next_pow2 (max 1 shards) 1 in
+    (* per-shard budget, floored at one page so every shard can hold the
+       page it is asked for; tiny pools (tests) are honoured as given *)
+    let cap = max 1 (pages / n) in
+    {
+      shards =
+        Array.init n (fun _ ->
+            { mu = Mutex.create (); tbl = Hashtbl.create 64; mru = None;
+              lru = None; resident = 0; cap; hits = 0; misses = 0;
+              evictions = 0 });
+      mask = n - 1;
+      tag_mu = Mutex.create ();
+      next_tag = 0;
+    }
+
+  let fresh_tag t =
+    Mutex.lock t.tag_mu;
+    let g = t.next_tag in
+    t.next_tag <- g + 1;
+    Mutex.unlock t.tag_mu;
+    g
+
+  (* page ids are i32 in every tree, so 32 bits of id is generous *)
+  let key_of ~tag id = (tag lsl 32) lor id
+
+  let tag_of key = key lsr 32
+
+  (* splitmix finaliser so consecutive page ids spread across shards *)
+  let mix k =
+    let h = k lxor (k lsr 31) in
+    let h = h * 0x2545F4914F6CDD1D in
+    h lxor (h lsr 29)
+
+  let shard_of t key = t.shards.(mix key land t.mask)
+
+  let with_shard s f =
+    Mutex.lock s.mu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock s.mu) f
+
+  (* list surgery — caller holds the shard mutex *)
+
+  let unlink s e =
+    (match e.prev with Some p -> p.next <- e.next | None -> s.mru <- e.next);
+    (match e.next with Some n -> n.prev <- e.prev | None -> s.lru <- e.prev);
+    e.prev <- None;
+    e.next <- None
+
+  let push_front s e =
+    e.prev <- None;
+    e.next <- s.mru;
+    (match s.mru with Some m -> m.prev <- Some e | None -> s.lru <- Some e);
+    s.mru <- Some e
+
+  let drop s e =
+    unlink s e;
+    Hashtbl.remove s.tbl e.key;
+    s.resident <- s.resident - 1;
+    Gauge.decr g_shared_pages
+
+  let find t key =
+    let s = shard_of t key in
+    with_shard s (fun () ->
+        match Hashtbl.find_opt s.tbl key with
+        | Some e ->
+          s.hits <- s.hits + 1;
+          Counter.incr m_shared_hits;
+          unlink s e;
+          push_front s e;
+          Some e.page
+        | None ->
+          s.misses <- s.misses + 1;
+          Counter.incr m_shared_misses;
+          None)
+
+  (* like [find] but without metrics or promotion: the re-check under the
+     attached pager's I/O lock after a raced miss *)
+  let peek t key =
+    let s = shard_of t key in
+    with_shard s (fun () ->
+        Option.map (fun e -> e.page) (Hashtbl.find_opt s.tbl key))
+
+  let add t key page =
+    let s = shard_of t key in
+    with_shard s (fun () ->
+        if not (Hashtbl.mem s.tbl key) then begin
+          let e = { key; page; prev = None; next = None } in
+          Hashtbl.add s.tbl key e;
+          push_front s e;
+          s.resident <- s.resident + 1;
+          Gauge.incr g_shared_pages;
+          while s.resident > s.cap do
+            match s.lru with
+            | None -> s.resident <- s.cap (* unreachable *)
+            | Some victim ->
+              drop s victim;
+              s.evictions <- s.evictions + 1;
+              Counter.incr m_shared_evictions
+          done
+        end)
+
+  (* reclaim every page a closing pager cached *)
+  let drop_tag t tag =
+    Array.iter
+      (fun s ->
+        with_shard s (fun () ->
+            let mine =
+              Hashtbl.fold
+                (fun key e acc -> if tag_of key = tag then e :: acc else acc)
+                s.tbl []
+            in
+            List.iter (drop s) mine))
+      t.shards
+
+  let stats t =
+    Array.fold_left
+      (fun acc s ->
+        with_shard s (fun () ->
+            {
+              capacity = acc.capacity + s.cap;
+              resident = acc.resident + s.resident;
+              hits = acc.hits + s.hits;
+              misses = acc.misses + s.misses;
+              evictions = acc.evictions + s.evictions;
+            }))
+      { capacity = 0; resident = 0; hits = 0; misses = 0; evictions = 0 }
+      t.shards
+end
 
 type slot = {
   page : Page.t;
@@ -61,7 +263,17 @@ type slot = {
   mutable pins : int;
 }
 
+(* [Shared] pagers are read-only views over an immutable committed file:
+   page lookups go to the [Read_pool], misses are read (and CRC-verified)
+   under [io_mu] — the one Vfs file handle positions with lseek+read, so
+   concurrent miss reads must not interleave on it — and every write-side
+   entry point is a programming error. *)
+type mode =
+  | Private
+  | Shared of { pool : Read_pool.t; tag : int; io_mu : Mutex.t }
+
 type t = {
+  mode : mode;
   pool_pages : int;
   cache : (int, slot) Hashtbl.t;
   vfs : Vfs.t;
@@ -87,8 +299,9 @@ type t = {
 
 let journal_path_of path = path ^ "-journal"
 
-let mk ~pool_pages ~fsync ~vfs ~file ~path ~next_page =
+let mk ?(mode = Private) ~pool_pages ~fsync ~vfs ~file ~path ~next_page () =
   {
+    mode;
     pool_pages = max pool_pages 8;
     cache = Hashtbl.create 64;
     vfs;
@@ -117,14 +330,14 @@ let create_vfs ?(pool_pages = 256) ?(fsync = true) ~vfs path =
      never be replayed over the new one *)
   if vfs.Vfs.exists (journal_path_of path) then vfs.Vfs.remove (journal_path_of path);
   let file = vfs.Vfs.open_file path ~create:true in
-  mk ~pool_pages ~fsync ~vfs ~file ~path ~next_page:0
+  mk ~pool_pages ~fsync ~vfs ~file ~path ~next_page:0 ()
 
 let create ?pool_pages ?fsync backend =
   match backend with
   | Memory -> create_vfs ?pool_pages ?fsync ~vfs:(Vfs.memory ()) "mem.db"
   | File path -> create_vfs ?pool_pages ?fsync ~vfs:Vfs.real path
 
-let open_vfs ?(pool_pages = 256) ?(fsync = true) ~vfs path =
+let open_mode ?mode ~pool_pages ~fsync ~vfs path =
   (match
      Journal.rollback ~vfs ~path ~journal_path:(journal_path_of path) ~fsync
    with
@@ -142,9 +355,24 @@ let open_vfs ?(pool_pages = 256) ?(fsync = true) ~vfs path =
     Storage_error.raise_error
       (Truncated (Printf.sprintf "%s: %d bytes is not a whole number of pages" path size))
   end;
-  mk ~pool_pages ~fsync ~vfs ~file ~path ~next_page:(size / Page.size)
+  mk ?mode ~pool_pages ~fsync ~vfs ~file ~path ~next_page:(size / Page.size) ()
+
+let open_vfs ?(pool_pages = 256) ?(fsync = true) ~vfs path =
+  open_mode ~pool_pages ~fsync ~vfs path
 
 let open_existing ?pool_pages ?fsync path = open_vfs ?pool_pages ?fsync ~vfs:Vfs.real path
+
+let open_shared_vfs ?(fsync = true) ~vfs ~pool path =
+  let mode =
+    Shared { pool; tag = Read_pool.fresh_tag pool; io_mu = Mutex.create () }
+  in
+  (* pool_pages is irrelevant in shared mode (the private cache is never
+     consulted) but [mk] still wants a sane floor *)
+  open_mode ~mode ~pool_pages:8 ~fsync ~vfs path
+
+let open_shared ?fsync ~pool path = open_shared_vfs ?fsync ~vfs:Vfs.real ~pool path
+
+let read_only t = match t.mode with Private -> false | Shared _ -> true
 
 let tick t =
   t.clock <- t.clock + 1;
@@ -247,7 +475,13 @@ let cache_insert t id page =
   Hashtbl.replace t.cache id slot;
   slot
 
+let require_private t what =
+  match t.mode with
+  | Private -> ()
+  | Shared _ -> invalid_arg ("Pager." ^ what ^ ": pager is a read-only shared view")
+
 let alloc t =
+  require_private t "alloc";
   Counter.incr m_pages_allocated;
   match t.free_list with
   | id :: rest ->
@@ -270,6 +504,7 @@ let alloc t =
     id
 
 let free t id =
+  require_private t "free";
   if id < 0 || id >= t.next_page then invalid_arg "Pager.free: bad page id";
   t.free_list <- id :: t.free_list
 
@@ -290,20 +525,51 @@ let slot_of t id =
     let page = read_from_store t id in
     cache_insert t id page
 
-let read t id = (slot_of t id).page
+(* shared mode: probe the pool lock-free of I/O, serialise miss reads on
+   [io_mu] (the single Vfs handle is not positionally safe across domains)
+   and re-check under it so a raced miss fills exactly once *)
+let read_shared t pool tag io_mu id =
+  if id < 0 || id >= t.next_page then
+    invalid_arg (Printf.sprintf "Pager.read: page %d out of [0,%d)" id t.next_page);
+  let key = Read_pool.key_of ~tag id in
+  match Read_pool.find pool key with
+  | Some page -> page
+  | None ->
+    Mutex.lock io_mu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock io_mu) @@ fun () ->
+    (match Read_pool.peek pool key with
+    | Some page -> page
+    | None ->
+      let page = read_from_store t id in
+      Read_pool.add pool key page;
+      page)
+
+let read t id =
+  match t.mode with
+  | Private -> (slot_of t id).page
+  | Shared { pool; tag; io_mu } -> read_shared t pool tag io_mu id
 
 let pin t id =
-  let slot = slot_of t id in
-  slot.pins <- slot.pins + 1;
-  slot.page
+  match t.mode with
+  | Private ->
+    let slot = slot_of t id in
+    slot.pins <- slot.pins + 1;
+    slot.page
+  | Shared _ ->
+    (* nothing mutates or recycles shared pages, so a pin is just a read *)
+    read t id
 
 let unpin t id =
-  match Hashtbl.find_opt t.cache id with
-  | Some slot when slot.pins > 0 -> slot.pins <- slot.pins - 1
-  | Some _ -> invalid_arg "Pager.unpin: page not pinned"
-  | None -> invalid_arg "Pager.unpin: page not resident"
+  match t.mode with
+  | Shared _ -> ()
+  | Private ->
+    (match Hashtbl.find_opt t.cache id with
+    | Some slot when slot.pins > 0 -> slot.pins <- slot.pins - 1
+    | Some _ -> invalid_arg "Pager.unpin: page not pinned"
+    | None -> invalid_arg "Pager.unpin: page not resident")
 
 let mark_dirty t id =
+  require_private t "mark_dirty";
   match Hashtbl.find_opt t.cache id with
   | Some slot -> slot.dirty <- true
   | None -> invalid_arg "Pager.mark_dirty: page not resident"
@@ -313,6 +579,7 @@ let dirty_slots t =
     t.cache []
 
 let flush t =
+  require_private t "flush";
   List.iter
     (fun (id, slot) ->
       write_back t id slot.page;
@@ -327,6 +594,7 @@ let sync_main t =
   end
 
 let commit t =
+  require_private t "commit";
   let dirty = dirty_slots t in
   if dirty <> [] || t.journal <> None then begin
     (* 1. journal the originals of every committed page about to change,
@@ -358,16 +626,24 @@ let commit t =
   end
 
 let verify_pages t =
-  let bad = ref [] in
-  let page = Page.create () in
-  for id = t.next_page - 1 downto 0 do
-    Bytes.fill page 0 Page.size '\000';
-    ignore (Vfs.read_full t.file page ~off:(id * Page.size) ~pos:0 ~len:Page.size);
-    match Page.verify page with
-    | `Ok | `Fresh -> ()
-    | `Corrupt -> bad := id :: !bad
-  done;
-  !bad
+  let scan () =
+    let bad = ref [] in
+    let page = Page.create () in
+    for id = t.next_page - 1 downto 0 do
+      Bytes.fill page 0 Page.size '\000';
+      ignore (Vfs.read_full t.file page ~off:(id * Page.size) ~pos:0 ~len:Page.size);
+      match Page.verify page with
+      | `Ok | `Fresh -> ()
+      | `Corrupt -> bad := id :: !bad
+    done;
+    !bad
+  in
+  match t.mode with
+  | Private -> scan ()
+  | Shared { io_mu; _ } ->
+    (* the raw file scan must not interleave with concurrent miss reads *)
+    Mutex.lock io_mu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock io_mu) scan
 
 type stats = {
   pages : int;
@@ -382,20 +658,39 @@ type stats = {
 }
 
 let stats t =
-  {
-    pages = t.next_page;
-    free_pages = List.length t.free_list;
-    cache_hits = t.cache_hits;
-    cache_misses = t.cache_misses;
-    evictions = t.evictions;
-    disk_reads = t.disk_reads;
-    disk_writes = t.disk_writes;
-    fsyncs = t.fsyncs;
-    journaled_pages = t.journaled_pages;
-  }
+  match t.mode with
+  | Private ->
+    {
+      pages = t.next_page;
+      free_pages = List.length t.free_list;
+      cache_hits = t.cache_hits;
+      cache_misses = t.cache_misses;
+      evictions = t.evictions;
+      disk_reads = t.disk_reads;
+      disk_writes = t.disk_writes;
+      fsyncs = t.fsyncs;
+      journaled_pages = t.journaled_pages;
+    }
+  | Shared { pool; _ } ->
+    (* hit/miss/eviction numbers are pool-wide (the pool is the cache);
+       disk_reads is this pager's own, updated under its io_mu *)
+    let p = Read_pool.stats pool in
+    {
+      pages = t.next_page;
+      free_pages = 0;
+      cache_hits = p.Read_pool.hits;
+      cache_misses = p.Read_pool.misses;
+      evictions = p.Read_pool.evictions;
+      disk_reads = t.disk_reads;
+      disk_writes = 0;
+      fsyncs = 0;
+      journaled_pages = 0;
+    }
 
 let close t =
-  commit t;
+  (match t.mode with
+  | Private -> commit t
+  | Shared { pool; tag; _ } -> Read_pool.drop_tag pool tag);
   Log.info (fun m ->
       m "pager closed: %d pages, %d hits / %d misses, %d evictions, %d fsyncs"
         t.next_page t.cache_hits t.cache_misses t.evictions t.fsyncs);

@@ -25,6 +25,38 @@ type backend =
 
 type t
 
+(** A shared, sharded-lock, read-only page pool for immutable snapshots.
+
+    One pool is probed by every domain (and every generation) serving
+    reads from committed store files, so a page any domain faulted in is
+    warm for all of them — the fix for the cold-read anti-scaling of
+    per-domain private pools (see DESIGN.md, Shared read path).  Entries
+    are immutable verified page images: eviction drops the table
+    reference only, so readers holding a page across an eviction keep a
+    valid image.  Metrics: [hopi_storage_shared_pool_hits_total] /
+    [_misses_total] / [_evictions_total] and the
+    [hopi_storage_shared_pool_pages] gauge — a series deliberately
+    disjoint from the private buffer-pool counters, so serving reads and
+    writer/builder traffic attribute separately. *)
+module Read_pool : sig
+  type t
+
+  type stats = {
+    capacity : int;  (** page budget across all shards *)
+    resident : int;  (** pages currently held *)
+    hits : int;
+    misses : int;
+    evictions : int;
+  }
+
+  val create : ?shards:int -> pages:int -> unit -> t
+  (** [shards] (default 16) is rounded up to a power of two; [pages] is
+      the total page budget, split evenly across shards (each shard keeps
+      at least one page, so tiny budgets round up to one per shard). *)
+
+  val stats : t -> stats
+end
+
 type stats = {
   pages : int;  (** pages allocated *)
   free_pages : int;  (** currently on the free list *)
@@ -56,6 +88,28 @@ val open_existing : ?pool_pages:int -> ?fsync:bool -> string -> t
 
 val open_vfs : ?pool_pages:int -> ?fsync:bool -> vfs:Vfs.t -> string -> t
 (** Like {!open_existing} on an explicit {!Vfs}. *)
+
+val open_shared : ?fsync:bool -> pool:Read_pool.t -> string -> t
+(** Open a committed page file as a {e read-only shared view}: page
+    fetches probe (and fill) [pool] instead of a private buffer pool, so
+    any number of domains sharing one pager — or several pagers over one
+    pool — serve from one warm set of pages.  Miss reads are serialised
+    per pager (the underlying file handle is not positionally safe across
+    domains) and CRC-verified before they enter the pool, exactly like a
+    private-pool miss.  A hot journal is still rolled back first.
+
+    The returned pager accepts {!read}/{!pin}/{!unpin}, the
+    introspection functions and {!close}; every write-side operation
+    ({!alloc}, {!free}, {!mark_dirty}, {!flush}, {!commit}) raises
+    [Invalid_argument].  {!close} releases the file and drops exactly
+    this pager's pages from the pool.
+    @raise Storage_error.Storage_error as {!open_existing}. *)
+
+val open_shared_vfs : ?fsync:bool -> vfs:Vfs.t -> pool:Read_pool.t -> string -> t
+(** {!open_shared} on an explicit {!Vfs} (fault-injection tests). *)
+
+val read_only : t -> bool
+(** Was this pager opened with {!open_shared}? *)
 
 val alloc : t -> int
 (** Allocate a zeroed page (reusing freed pages first); returns its id. *)
@@ -100,9 +154,14 @@ val verify_pages : t -> int list
     [hopi verify-store]. *)
 
 val stats : t -> stats
+(** For a shared read-only view, [cache_hits]/[cache_misses]/[evictions]
+    report the {e pool-wide} numbers (the pool is the cache) and the
+    write-side fields are 0; [disk_reads] is this pager's own. *)
 
 val close : t -> unit
-(** {!commit} and release the backing file. *)
+(** {!commit} and release the backing file.  A shared read-only view has
+    nothing to commit: it releases the file and evicts its pages from the
+    shared pool. *)
 
 val size_bytes : t -> int
 (** Total size of the page store. *)

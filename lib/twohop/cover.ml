@@ -90,6 +90,17 @@ let iter_lout t v f = match Hashtbl.find_opt t.lout v with
   | Some s -> Ihs.iter f s
   | None -> ()
 
+(* the serving layer's delta-encoded layout: sorted distinct centers, all
+   at distance 0 (a plain cover stores no distances) *)
+let encoded_of set =
+  let e = Label_codec.Enc.create () in
+  Int_set.iter (fun center -> Label_codec.Enc.row e ~center ~dist:0) set;
+  Label_codec.Enc.finish e
+
+let encoded_lin t v = encoded_of (lin t v)
+
+let encoded_lout t v = encoded_of (lout t v)
+
 let in_labelled_with t w = get t.lin_inv w
 
 let out_labelled_with t w = get t.lout_inv w

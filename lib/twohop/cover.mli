@@ -40,6 +40,13 @@ val iter_lin : t -> int -> (int -> unit) -> unit
 
 val iter_lout : t -> int -> (int -> unit) -> unit
 
+val encoded_lin : t -> int -> Label_codec.t
+(** [Lin(node)] in the serving layer's {!Label_codec} layout: sorted
+    distinct centers, each as a distance-0 row (plain covers store no
+    distances).  Decoding it recovers exactly {!lin}. *)
+
+val encoded_lout : t -> int -> Label_codec.t
+
 val in_labelled_with : t -> int -> Hopi_util.Int_hashset.t
 (** [in_labelled_with t w] = nodes [v] with [w ∈ Lin(v)] — the backward
     index on LIN.  The result must not be mutated by the caller. *)

@@ -1,0 +1,198 @@
+(* Delta-encoded label sets (see the interface for the format contract).
+
+   Encoding: rows sorted by (center, dist); per row a varint center delta
+   against the previous row's center, then a varint distance.  Probes
+   decode streamwise — no intermediate arrays — and exploit the sort
+   order: runs of one center are contiguous, and the first row of a run
+   carries that center's minimum distance. *)
+
+type t = bytes
+
+let empty = Bytes.create 0
+
+(* {1 Varints} *)
+
+(* LEB128: 7 payload bits per byte, little-endian, high bit = continue *)
+
+let add_varint buf v =
+  let v = ref v in
+  while !v >= 0x80 do
+    Buffer.add_char buf (Char.unsafe_chr (0x80 lor (!v land 0x7f)));
+    v := !v lsr 7
+  done;
+  Buffer.add_char buf (Char.unsafe_chr !v)
+
+(* {1 Encoding} *)
+
+module Enc = struct
+  type e = {
+    buf : Buffer.t;
+    mutable prev_center : int;
+    mutable prev_dist : int;
+    mutable rows : int;
+  }
+
+  let create () = { buf = Buffer.create 32; prev_center = 0; prev_dist = 0; rows = 0 }
+
+  let row e ~center ~dist =
+    if center < 0 || dist < 0 then invalid_arg "Label_codec.Enc.row: negative field";
+    if e.rows > 0
+       && (center < e.prev_center || (center = e.prev_center && dist < e.prev_dist))
+    then invalid_arg "Label_codec.Enc.row: rows not sorted by (center, dist)";
+    add_varint e.buf (center - e.prev_center);
+    add_varint e.buf dist;
+    e.prev_center <- center;
+    e.prev_dist <- dist;
+    e.rows <- e.rows + 1
+
+  let finish e = Buffer.to_bytes e.buf
+end
+
+let encode_pairs rows =
+  let e = Enc.create () in
+  Array.iter (fun (center, dist) -> Enc.row e ~center ~dist) rows;
+  Enc.finish e
+
+(* {1 Decoding cursors} *)
+
+type cur = {
+  b : bytes;
+  len : int;
+  mutable pos : int;
+  mutable center : int;
+  mutable dist : int;
+}
+
+let cur b = { b; len = Bytes.length b; pos = 0; center = 0; dist = 0 }
+
+let at_end c = c.pos >= c.len
+
+let varint c =
+  let v = ref 0 and shift = ref 0 and cont = ref true in
+  while !cont do
+    if c.pos >= c.len then invalid_arg "Label_codec: truncated varint";
+    let k = Char.code (Bytes.unsafe_get c.b c.pos) in
+    c.pos <- c.pos + 1;
+    v := !v lor ((k land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    cont := k land 0x80 <> 0
+  done;
+  !v
+
+(* decode the row at the cursor into [center]/[dist] *)
+let next c =
+  c.center <- c.center + varint c;
+  c.dist <- varint c
+
+(* position on the first row; false when the label set is empty *)
+let start c =
+  if at_end c then false
+  else begin
+    next c;
+    true
+  end
+
+(* advance to the first row of the next (strictly greater) center;
+   false when the current run was the last *)
+let next_center c =
+  let here = c.center in
+  let rec go () =
+    if at_end c then false
+    else begin
+      next c;
+      if c.center = here then go () else true
+    end
+  in
+  go ()
+
+(* {1 Probes} *)
+
+let iter b f =
+  let c = cur b in
+  while not (at_end c) do
+    next c;
+    f ~center:c.center ~dist:c.dist
+  done
+
+let iter_centers b f =
+  let c = cur b in
+  if start c then begin
+    f c.center;
+    while next_center c do
+      f c.center
+    done
+  end
+
+let n_rows b =
+  let c = cur b and n = ref 0 in
+  while not (at_end c) do
+    next c;
+    incr n
+  done;
+  !n
+
+let to_array b =
+  let n = n_rows b in
+  let arr = Array.make (2 * n) 0 in
+  let c = cur b and i = ref 0 in
+  while not (at_end c) do
+    next c;
+    arr.(!i) <- c.center;
+    arr.(!i + 1) <- c.dist;
+    i := !i + 2
+  done;
+  arr
+
+(* min distance of [center]'s run, or -1: rows are sorted, so the first
+   row at the center carries the minimum and the scan bails as soon as
+   the centers pass it *)
+let find_min_dist b center =
+  let c = cur b in
+  let rec go () =
+    if at_end c then -1
+    else begin
+      next c;
+      if c.center > center then -1
+      else if c.center = center then c.dist
+      else go ()
+    end
+  in
+  go ()
+
+let mem b center = find_min_dist b center >= 0
+
+let intersects a b =
+  let ca = cur a and cb = cur b in
+  if not (start ca) || not (start cb) then false
+  else begin
+    let rec go () =
+      if ca.center = cb.center then true
+      else if ca.center < cb.center then if next_center ca then go () else false
+      else if next_center cb then go ()
+      else false
+    in
+    go ()
+  end
+
+(* min over common centers of (min dist in a's run + min dist in b's run) *)
+let merge_min a b =
+  let ca = cur a and cb = cur b in
+  if not (start ca) || not (start cb) then -1
+  else begin
+    let best = ref (-1) in
+    let note d = if !best < 0 || d < !best then best := d in
+    let rec go () =
+      if ca.center = cb.center then begin
+        note (ca.dist + cb.dist);
+        if next_center ca && next_center cb then go ()
+      end
+      else if ca.center < cb.center then begin
+        if next_center ca then go ()
+      end
+      else if next_center cb then go ()
+    in
+    go ();
+    !best
+  end
+
+let size_bytes b = Bytes.length b

@@ -13,25 +13,38 @@ type plan =
   | No_fault
   | Crash_at of { op : int; mode : mode; tear : int option }
   | Fail_write of { n : int }
+  | Fail_read of { n : int }
+  | Torn_read of { n : int; frag : int }
 
 type t = {
   files : (string, file_state) Hashtbl.t;
   mutable ops : int;
   mutable writes : int;
+  mutable reads : int;
+      (* separate clock: reads are NOT counted ops, so arming read faults
+         never shifts the crash-matrix operation indexes *)
   mutable plan : plan;
 }
 
-let create () = { files = Hashtbl.create 8; ops = 0; writes = 0; plan = No_fault }
+let create () =
+  { files = Hashtbl.create 8; ops = 0; writes = 0; reads = 0; plan = No_fault }
 
 let op_count t = t.ops
 
+let read_count t = t.reads
+
 let reset_ops t =
   t.ops <- 0;
-  t.writes <- 0
+  t.writes <- 0;
+  t.reads <- 0
 
 let arm_crash t ~op ~mode ?tear () = t.plan <- Crash_at { op; mode; tear }
 
 let arm_fail_write t ~n = t.plan <- Fail_write { n }
+
+let arm_fail_read t ~n = t.plan <- Fail_read { n }
+
+let arm_torn_read t ~n ~frag = t.plan <- Torn_read { n; frag }
 
 let disarm t = t.plan <- No_fault
 
@@ -90,11 +103,32 @@ let check_op t =
 
 let file_ops t path st =
   let read buf ~off ~pos ~len =
+    (match t.plan with
+    | Fail_read { n } when t.reads = n ->
+      t.plan <- No_fault;
+      t.reads <- t.reads + 1;
+      E.raise_error (Io (Printf.sprintf "injected failure on read #%d of %s" n path))
+    | _ -> ());
+    let torn_frag =
+      match t.plan with
+      | Torn_read { n; frag } when t.reads = n ->
+        t.plan <- No_fault;
+        Some frag
+      | _ -> None
+    in
+    t.reads <- t.reads + 1;
     let img = st.volatile in
     if off >= img.len then 0
     else begin
       let n = min len (img.len - off) in
       Bytes.blit img.data off buf pos n;
+      (match torn_frag with
+      | Some frag when frag < n ->
+        (* a torn read: the tail of the transfer never made it out of the
+           device — the caller sees stale zeros there.  The byte count is
+           still [n]: only checksum verification can tell. *)
+        Bytes.fill buf (pos + frag) (n - frag) '\000'
+      | _ -> ());
       n
     end
   in

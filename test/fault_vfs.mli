@@ -13,7 +13,10 @@
     survive ([Keep_unsynced]) or all vanish ([Drop_unsynced]) — intermediate
     interleavings are covered by crashing at every operation index.
 
-    Counted operations (the crash clock): write, sync, truncate, remove. *)
+    Counted operations (the crash clock): write, sync, truncate, remove.
+    Reads tick a {e separate} clock ({!read_count}) so read-side fault
+    plans ({!arm_fail_read}, {!arm_torn_read}) never shift the
+    crash-matrix operation indexes of existing workloads. *)
 
 type t
 
@@ -44,6 +47,23 @@ val arm_crash : t -> op:int -> mode:mode -> ?tear:int -> unit -> unit
 val arm_fail_write : t -> n:int -> unit
 (** Make the [n]-th write (0-based) raise [Storage_error (Io _)] — a
     reported I/O error, not a crash: no data is lost. *)
+
+val read_count : t -> int
+(** Reads performed so far (its own clock — not part of {!op_count}).
+    Probe a read workload fault-free first to learn its read count, then
+    fault each index. *)
+
+val arm_fail_read : t -> n:int -> unit
+(** Make the [n]-th read (0-based) raise [Storage_error (Io _)].  The
+    file state is untouched: the very same read succeeds on retry. *)
+
+val arm_torn_read : t -> n:int -> frag:int -> unit
+(** Make the [n]-th read (0-based) deliver only its first [frag] bytes;
+    the tail of the transfer reads as zeros but the byte count reported
+    to the caller is the full one — only checksum verification can tell.
+    Keep [frag >= 8] so the page header (and its checksum field) survives
+    and verification reports [Corrupt] rather than mistaking the page for
+    an all-zero fresh page. *)
 
 val disarm : t -> unit
 

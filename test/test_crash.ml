@@ -432,6 +432,92 @@ let test_rollback_crash_matrix () =
       done)
     [ Fv.Drop_unsynced; Fv.Keep_unsynced ]
 
+(* {1 Read-side faults}
+
+   The shared read path (Snapshot over Pager's shared read-only pool)
+   must surface injected read faults as typed [Storage_error]s — never as
+   wrong answers — and a failed read must leave nothing poisoned in the
+   pool: the same snapshot answers correctly once the fault clears. *)
+
+module Snapshot = Hopi_serve.Snapshot
+
+let snap_matrix snap =
+  List.map (fun u -> List.map (fun v -> Snapshot.connected snap u v) domain) domain
+
+let test_read_fault_matrix () =
+  let fv, vfs, cover, _ = setup () in
+  (* a fresh tiny single-shard pool per run: the cold workload is
+     deterministic, so its read count is too *)
+  let open_snap () =
+    Snapshot.open_file
+      ~pool:(Pager.Read_pool.create ~shards:1 ~pages:2 ())
+      ~vfs ~cache_mb:0 path
+  in
+  let workload () =
+    let snap = open_snap () in
+    Fun.protect ~finally:(fun () -> Snapshot.close snap) @@ fun () ->
+    snap_matrix snap
+  in
+  let oracle = workload () in
+  List.iteri
+    (fun i u ->
+      List.iteri
+        (fun j v ->
+          check_bool
+            (Printf.sprintf "cold snapshot %d->%d = cover" u v)
+            (Cover.connected cover u v)
+            (List.nth (List.nth oracle i) j))
+        domain)
+    domain;
+  (* probe the read count of one fault-free cold workload *)
+  Fv.reset_ops fv;
+  ignore (workload ());
+  let n_reads = Fv.read_count fv in
+  check_bool "cold workload reads pages" true (n_reads > 0);
+  (* fail-read at every index: the typed Io error always surfaces — the
+     deterministic workload performs exactly [n_reads] reads, so a
+     swallowed fault (reaching the value branch) is a test failure *)
+  for k = 0 to n_reads - 1 do
+    Fv.reset_ops fv;
+    Fv.arm_fail_read fv ~n:k;
+    match workload () with
+    | _ -> Alcotest.failf "injected failure on read %d did not surface" k
+    | exception Storage_error.Storage_error (Storage_error.Io _) -> ()
+    | exception e ->
+      Alcotest.failf "read %d: expected Storage_error (Io _), got %s" k
+        (Printexc.to_string e)
+  done;
+  (* torn reads (header survives, payload tail zeroed): the page checksum
+     rejects the transfer — or, when the zeroed tail happens to be
+     byte-identical to the stored page, the run completes and must answer
+     exactly like the oracle.  Wrong answers are the one forbidden
+     outcome. *)
+  for k = 0 to n_reads - 1 do
+    Fv.reset_ops fv;
+    Fv.arm_torn_read fv ~n:k ~frag:37;
+    match workload () with
+    | m ->
+      check_bool
+        (Printf.sprintf "torn read %d never yields wrong answers" k)
+        true (m = oracle)
+    | exception Storage_error.Storage_error (Storage_error.Checksum _) -> ()
+    | exception e ->
+      Alcotest.failf "torn read %d: expected Storage_error (Checksum _), got %s"
+        k (Printexc.to_string e)
+  done;
+  (* no pool poisoning: fault one read mid-query on a live snapshot, then
+     re-ask everything on the same handle — the failed page was never
+     admitted to the pool, so the retry re-reads it cleanly *)
+  let snap = open_snap () in
+  Fun.protect ~finally:(fun () -> Snapshot.close snap) @@ fun () ->
+  Fv.reset_ops fv;
+  Fv.arm_fail_read fv ~n:0;
+  (match snap_matrix snap with
+  | _ -> Alcotest.fail "armed read fault did not surface on the live snapshot"
+  | exception Storage_error.Storage_error (Storage_error.Io _) -> ());
+  check_bool "same snapshot recovers once the fault clears" true
+    (snap_matrix snap = oracle)
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let suite =
@@ -441,6 +527,8 @@ let suite =
         Alcotest.test_case "crash-at-every-step matrix" `Quick test_crash_matrix;
         Alcotest.test_case "injected write failure" `Quick test_fail_nth_write;
         Alcotest.test_case "flipped byte is detected" `Quick test_byte_flip_detected;
+        Alcotest.test_case "read-fault matrix on the shared read path" `Quick
+          test_read_fault_matrix;
         Alcotest.test_case "generation flip crash matrix" `Quick test_flip_crash_matrix;
         Alcotest.test_case "generation rollback crash matrix" `Quick
           test_rollback_crash_matrix;

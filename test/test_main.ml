@@ -3,4 +3,5 @@ let () =
     (Test_util.suite @ Test_obs.suite @ Test_graph.suite @ Test_xml.suite
      @ Test_collection.suite @ Test_twohop.suite @ Test_storage.suite
      @ Test_crash.suite @ Test_partition.suite @ Test_core.suite @ Test_query.suite
-     @ Test_flix.suite @ Test_props.suite @ Test_serve.suite @ Test_live.suite)
+     @ Test_flix.suite @ Test_props.suite @ Test_serve.suite
+     @ Test_coldpath.suite @ Test_live.suite)

@@ -24,7 +24,7 @@ let checki = Alcotest.(check int)
 
 (* {1 Label cache} *)
 
-let arr n = Array.make n 7
+let arr n = Bytes.make n '\007'
 
 (* capacity for exactly [n] entries of payload [len] in a 1-shard cache *)
 let capacity_for n len = n * Cache.entry_cost (arr len)
@@ -71,7 +71,7 @@ let test_cache_replace () =
   checki "one entry after replace" 1 (Cache.entries c);
   checki "replacement cost accounted" (Cache.entry_cost (arr 20)) (Cache.bytes c);
   match Cache.find c 1 with
-  | Some a -> checki "replacement payload" 20 (Array.length a)
+  | Some a -> checki "replacement payload" 20 (Bytes.length a)
   | None -> Alcotest.fail "replaced entry missing"
 
 let test_cache_oversize_skipped () =
@@ -166,8 +166,8 @@ let test_cache_pool_safety () =
       let key = i mod 97 in
       match Cache.find c key with
       | Some a ->
-        if Array.length a <> key mod 13 then failwith "payload mixed up between keys"
-      | None -> Cache.add c key (Array.make (key mod 13) 0));
+        if Bytes.length a <> key mod 13 then failwith "payload mixed up between keys"
+      | None -> Cache.add c key (Bytes.make (key mod 13) '\000'));
   checkb "bytes within budget" true (Cache.bytes c <= cap);
   (* at rest, the per-entry costs must re-add to the accounted bytes *)
   let accounted = ref 0 in

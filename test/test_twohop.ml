@@ -298,6 +298,138 @@ let prop_dist_builder_exact =
       let cover, _ = Dist_builder.build g in
       Verify.dist_cover_vs_graph cover g = [])
 
+(* {1 Label_codec}
+
+   Differentials for the delta-encoded label layout the serving layer
+   caches and probes: encoding must round-trip exactly, and every
+   streamwise probe must agree with a naive reference over the decoded
+   rows — including multi-distance runs of one center, where the probes
+   skip within the run. *)
+
+(* rows sorted by (center, dist), duplicates allowed; centers span
+   several varint byte widths *)
+let gen_rows =
+  let open QCheck2.Gen in
+  let center = oneof [ int_bound 30; int_bound 5_000; int_bound 3_000_000 ] in
+  let dist = int_bound 300 in
+  list_size (int_bound 40) (pair center dist) >|= fun l ->
+  Array.of_list (List.sort compare l)
+
+let flatten_rows rows =
+  Array.concat (Array.to_list (Array.map (fun (c, d) -> [| c; d |]) rows))
+
+let prop_codec_roundtrip =
+  QCheck2.Test.make ~name:"codec: encode_pairs round-trips exactly" ~count:200
+    gen_rows (fun rows ->
+      let enc = Label_codec.encode_pairs rows in
+      if Label_codec.to_array enc <> flatten_rows rows then
+        QCheck2.Test.fail_report "decoded rows differ from input";
+      if Label_codec.n_rows enc <> Array.length rows then
+        QCheck2.Test.fail_report "row count differs";
+      (* canonicity: re-encoding the decoded rows is byte-identical *)
+      let rows' =
+        Array.init (Array.length rows) (fun i ->
+            let a = Label_codec.to_array enc in
+            (a.(2 * i), a.((2 * i) + 1)))
+      in
+      if Label_codec.encode_pairs rows' <> enc then
+        QCheck2.Test.fail_report "re-encoding is not byte-identical";
+      (* iteration order is the sort order *)
+      let seen = ref [] in
+      Label_codec.iter enc (fun ~center ~dist -> seen := (center, dist) :: !seen);
+      Array.of_list (List.rev !seen) = rows)
+
+(* naive reference probes over a row array *)
+let ref_find_min_dist rows center =
+  Array.fold_left
+    (fun acc (c, d) -> if c = center && (acc < 0 || d < acc) then d else acc)
+    (-1) rows
+
+let ref_centers rows =
+  List.sort_uniq compare (Array.to_list (Array.map fst rows))
+
+let ref_merge_min a b =
+  List.fold_left
+    (fun acc c ->
+      let da = ref_find_min_dist a c and db = ref_find_min_dist b c in
+      if da >= 0 && db >= 0 && (acc < 0 || da + db < acc) then da + db else acc)
+    (-1)
+    (ref_centers a)
+
+let prop_codec_probes =
+  QCheck2.Test.make ~name:"codec: streamwise probes = naive reference"
+    ~count:200
+    QCheck2.Gen.(pair gen_rows gen_rows)
+    (fun (ra, rb) ->
+      let a = Label_codec.encode_pairs ra and b = Label_codec.encode_pairs rb in
+      let centers = ref_centers ra @ ref_centers rb @ [ 0; 1; 31; 5_001 ] in
+      List.iter
+        (fun c ->
+          if Label_codec.find_min_dist a c <> ref_find_min_dist ra c then
+            QCheck2.Test.fail_reportf "find_min_dist diverges on center %d" c;
+          if Label_codec.mem a c <> (ref_find_min_dist ra c >= 0) then
+            QCheck2.Test.fail_reportf "mem diverges on center %d" c)
+        centers;
+      let seen = ref [] in
+      Label_codec.iter_centers a (fun c -> seen := c :: !seen);
+      if List.rev !seen <> ref_centers ra then
+        QCheck2.Test.fail_report "iter_centers diverges from sorted uniq";
+      let inter_ref =
+        List.exists (fun c -> ref_find_min_dist rb c >= 0) (ref_centers ra)
+      in
+      if Label_codec.intersects a b <> inter_ref then
+        QCheck2.Test.fail_report "intersects diverges";
+      if Label_codec.merge_min a b <> ref_merge_min ra rb then
+        QCheck2.Test.fail_report "merge_min diverges";
+      true)
+
+(* the layout the snapshot caches: a built cover's label sets, flattened
+   through [Cover.encoded_lin]/[encoded_lout], decode back to exactly the
+   uncompressed label sets *)
+let prop_codec_cover_roundtrip =
+  QCheck2.Test.make
+    ~name:"codec: encoded cover labels decode to the uncompressed cover"
+    ~count:40
+    QCheck2.Gen.(pair (int_range 0 100000) (int_range 1 14))
+    (fun (seed, n) ->
+      let g = random_graph seed n 0.22 in
+      let cover, _ = Builder.build (Closure.compute g) in
+      Cover.iter_nodes cover (fun v ->
+          let expect set =
+            flatten_rows
+              (Array.of_list
+                 (List.map (fun c -> (c, 0)) (Int_set.to_list set)))
+          in
+          let got_in = Label_codec.to_array (Cover.encoded_lin cover v) in
+          if got_in <> expect (Cover.lin cover v) then
+            QCheck2.Test.fail_reportf "Lin(%d) decodes wrong" v;
+          let got_out = Label_codec.to_array (Cover.encoded_lout cover v) in
+          if got_out <> expect (Cover.lout cover v) then
+            QCheck2.Test.fail_reportf "Lout(%d) decodes wrong" v);
+      true)
+
+let test_codec_enc_rejects_unsorted () =
+  let enc_of rows = ignore (Label_codec.encode_pairs rows) in
+  Alcotest.check_raises "unsorted centers"
+    (Invalid_argument "Label_codec.Enc.row: rows not sorted by (center, dist)")
+    (fun () -> enc_of [| (5, 0); (3, 0) |]);
+  Alcotest.check_raises "unsorted dists within a run"
+    (Invalid_argument "Label_codec.Enc.row: rows not sorted by (center, dist)")
+    (fun () -> enc_of [| (5, 2); (5, 1) |]);
+  Alcotest.check_raises "negative field"
+    (Invalid_argument "Label_codec.Enc.row: negative field") (fun () ->
+      enc_of [| (-1, 0) |])
+
+let test_codec_empty () =
+  check_int "no rows" 0 (Label_codec.n_rows Label_codec.empty);
+  check_int "no bytes" 0 (Label_codec.size_bytes Label_codec.empty);
+  check_bool "mem on empty" false (Label_codec.mem Label_codec.empty 0);
+  check_int "find on empty" (-1) (Label_codec.find_min_dist Label_codec.empty 0);
+  check_bool "intersects empty" false
+    (Label_codec.intersects Label_codec.empty Label_codec.empty);
+  check_int "merge empty" (-1)
+    (Label_codec.merge_min Label_codec.empty Label_codec.empty)
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let suite =
@@ -343,4 +475,13 @@ let suite =
         Alcotest.test_case "sampling mode" `Quick test_dist_builder_sampling_mode;
       ]
       @ qsuite [ prop_dist_builder_exact ] );
+    ( "twohop.codec",
+      [
+        Alcotest.test_case "empty label set" `Quick test_codec_empty;
+        Alcotest.test_case "encoder rejects unsorted rows" `Quick
+          test_codec_enc_rejects_unsorted;
+      ]
+      @ qsuite
+          [ prop_codec_roundtrip; prop_codec_probes; prop_codec_cover_roundtrip ]
+    );
   ]
