@@ -882,6 +882,143 @@ let live_maintenance (s : scale) =
     (G.live gen) (G.tip gen) !batches;
   if G.live gen <> n_flips then failwith "live_maintenance: flips lost"
 
+(* {1 Socket serving: scatter-gather over 1 vs K shards} *)
+
+(* The networked path measured end to end: split the collection into 1
+   and 4 shards, serve each over a Unix socket, and drive the same
+   deterministic request streams from concurrent client domains.  The
+   1-shard run prices the socket front-end itself (framing, admission,
+   one router hop); the 4-shard run adds cross-shard scatter-gather and
+   PSG routing on top.  Both answer streams must be identical — the
+   differential lives in the test suite, but the bench re-checks it at
+   bench scale for free. *)
+let socket_throughput (s : scale) =
+  section "serving: socket front-end, 1 vs K shards";
+  let module Serve = Hopi_serve in
+  let module Router = Serve.Router in
+  let module Server = Serve.Server in
+  let module Client = Serve.Client in
+  let module Pool = Hopi_util.Pool in
+  let c = dblp_collection (max 40 (s.dblp_docs / 4)) in
+  let nodes =
+    let acc = ref [] in
+    Collection.iter_elements c (fun e -> acc := e :: !acc);
+    Array.of_list !acc
+  in
+  let n = Array.length nodes in
+  let n_clients = 3 in
+  let n_batches =
+    max 40 (int_of_float (120.0 *. float_of_int s.dblp_docs /. 500.0))
+  in
+  let batch_len = 64 in
+  (* the same request stream per (client, batch) regardless of shard
+     count, so answer streams are comparable across configurations *)
+  let lines_for ~client ~batch =
+    let rng = Splitmix.create ((client * 7919) + batch + 1) in
+    List.init batch_len (fun i ->
+        let u = nodes.(Splitmix.int rng n) and v = nodes.(Splitmix.int rng n) in
+        if i land 1 = 0 then Printf.sprintf "reach %d %d" u v
+        else Printf.sprintf "dist %d %d" u v)
+  in
+  let run_config k =
+    let dir = Filename.temp_file "hopi_sockbench" "" in
+    Sys.remove dir;
+    Sys.mkdir dir 0o700;
+    Fun.protect
+      ~finally:(fun () ->
+        Array.iter
+          (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+          (Sys.readdir dir);
+        try Sys.rmdir dir with Sys_error _ -> ())
+    @@ fun () ->
+    let stats, t_split =
+      Timer.time (fun () -> Router.split ~fsync:false ~k ~dir c)
+    in
+    let r = Router.open_dir ~cache_mb:32 dir in
+    Fun.protect ~finally:(fun () -> Router.close r) @@ fun () ->
+    Pool.with_pool ~jobs:s.jobs @@ fun pool ->
+    let eng = Router.engine r in
+    let handler =
+      {
+        Server.eval =
+          (fun ~ctx queries -> (0, Serve.Batch.eval_batch_engine ~ctx ~pool eng queries));
+        control = (fun _ -> Error "bench server has no control plane");
+      }
+    in
+    let srv = Server.create ~max_inflight:256 ~queue_depth:64 handler in
+    let sock = Filename.concat dir "bench.sock" in
+    ignore (Server.add_listener srv (Server.Unix_socket sock) : Unix.sockaddr);
+    Fun.protect ~finally:(fun () -> Server.stop srv) @@ fun () ->
+    let busy = Atomic.make 0 in
+    let run_client client () =
+      let cl = Client.connect_unix sock in
+      Fun.protect ~finally:(fun () -> Client.close cl) @@ fun () ->
+      let lats = ref [] and answers = ref [] in
+      for b = 1 to n_batches do
+        let lines = lines_for ~client ~batch:b in
+        let rec go () =
+          let t0 = Timer.start () in
+          match Client.request cl lines with
+          | Ok (Client.Answers (_, a)) ->
+            lats := Timer.elapsed_s t0 :: !lats;
+            answers := List.rev_append a !answers
+          | Ok (Client.Busy _) ->
+            Atomic.incr busy;
+            Unix.sleepf 0.001;
+            go ()
+          | Ok (Client.Refused m) -> failwith ("socket bench: refused: " ^ m)
+          | Error e -> failwith ("socket bench: " ^ e)
+        in
+        go ()
+      done;
+      (!lats, List.rev !answers)
+    in
+    let per_client, t_wall =
+      Timer.time (fun () ->
+          let doms =
+            List.init n_clients (fun i -> Domain.spawn (run_client i))
+          in
+          List.map Domain.join doms)
+    in
+    let total_lines = n_clients * n_batches * batch_len in
+    let qps = float_of_int total_lines /. Float.max t_wall 1e-9 in
+    let lats = List.sort compare (List.concat_map fst per_client) in
+    let p95 =
+      List.nth lats (min (List.length lats - 1) (95 * List.length lats / 100))
+    in
+    (stats, t_split, qps, p95, List.map snd per_client, Atomic.get busy)
+  in
+  let st1, split1, qps1, p95_1, answers1, busy1 = run_config 1 in
+  let stk, splitk, qpsk, p95_k, answersk, busyk = run_config 4 in
+  if answers1 <> answersk then
+    failwith "socket_throughput: sharded answers diverge from 1-shard answers";
+  let g name v = Hopi_obs.Gauge.set (Hopi_obs.Registry.gauge name) v in
+  g "bench_socket_qps_shards1" (int_of_float qps1);
+  g "bench_socket_qps_shards4" (int_of_float qpsk);
+  g "bench_socket_p95_us_shards1" (int_of_float (p95_1 *. 1e6));
+  g "bench_socket_p95_us_shards4" (int_of_float (p95_k *. 1e6));
+  print_table
+    [ "shards"; "split"; "q/s"; "p95 batch"; "busy"; "cross links"; "PSG pairs" ]
+    [
+      [
+        string_of_int st1.Router.shards; seconds split1; Fmt.str "%.0f" qps1;
+        Fmt.str "%.2fms" (p95_1 *. 1e3); string_of_int busy1;
+        string_of_int st1.Router.cross_links; string_of_int st1.Router.psg_closure;
+      ];
+      [
+        string_of_int stk.Router.shards; seconds splitk; Fmt.str "%.0f" qpsk;
+        Fmt.str "%.2fms" (p95_k *. 1e3); string_of_int busyk;
+        string_of_int stk.Router.cross_links; string_of_int stk.Router.psg_closure;
+      ];
+    ];
+  note "%d elements; %d clients x %d batches x %d lines (reach/dist \
+        alternating) per configuration"
+    n n_clients n_batches batch_len;
+  note "identical answer streams across shard counts: verified";
+  note "scatter-gather at K=%d runs at %.0f%% of the 1-shard socket rate"
+    stk.Router.shards
+    (100.0 *. qpsk /. Float.max qps1 1e-9)
+
 (* {1 Correctness gate} *)
 
 let selfcheck (_ : scale) =

@@ -30,6 +30,8 @@ let experiments : (string * string * (Bench_common.scale -> unit)) list =
      Experiments.query_throughput);
     ("live_maintenance", "serving: zero-downtime generational flips under churn",
      Experiments.live_maintenance);
+    ("socket_throughput", "serving: socket front-end, 1 vs K shards",
+     Experiments.socket_throughput);
     ("micro", "query-latency micro-benchmarks", Micro.run);
   ]
 

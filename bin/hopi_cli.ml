@@ -5,6 +5,10 @@
      hopi query corpus/ '//article//author'           evaluate a path query
      hopi query corpus/ --batch queries.txt --jobs 4  batch evaluation
      hopi serve corpus.db --jobs 4 --cache-mb 64      query-serving loop
+     hopi serve corpus.db --socket /tmp/hopi.sock     socket front-end
+     hopi shard-split corpus/ -k 4 --out shards/      K-shard partitioning
+     hopi serve --shard shards/                       scatter-gather serving
+     hopi client --socket /tmp/hopi.sock --batch q    drive a running server
      hopi check corpus/                               exhaustive self-check
 
    See docs/OPERATIONS.md for the full operator guide. *)
@@ -264,6 +268,105 @@ let query dir expr_str batch_file top distance jobs metrics_path =
 
 (* {1 serve} *)
 
+(* A reader hanging up must surface as EPIPE/[Sys_error] on our write —
+   handled as a clean shutdown by the REPL — not kill the process. *)
+let ignore_sigpipe () =
+  match Sys.set_signal Sys.sigpipe Sys.Signal_ignore with
+  | () -> ()
+  | exception Invalid_argument _ -> () (* no SIGPIPE on this platform *)
+
+(* When the launcher closed fd 0, the first file we open is handed fd 0
+   and the input loop would read store pages as commands.  Checked before
+   anything is opened; a dead stdin serves an empty session instead. *)
+let stdin_usable () =
+  match Unix.fstat Unix.stdin with
+  | (_ : Unix.stats) -> true
+  | exception Unix.Unix_error (Unix.EBADF, _, _) -> false
+
+let slowlog_reply () =
+  ignore (Hopi_obs.Slo.update Hopi_obs.Reqtrace.slo);
+  String.trim (Fmt.str "%a" Hopi_obs.Reqtrace.pp_slowlog ())
+
+let no_ctx = { Hopi_serve.Batch.conn = 0; queue_wait_ns = 0 }
+
+(* The socket front-end serves the same control commands as the REPL,
+   plus [quit] shutting the whole server down. *)
+let run_socket_server ~max_inflight ~queue_depth ~socket ~tcp ~eval ~control =
+  let module Sv = Hopi_serve.Server in
+  let server_cell = ref None in
+  let sock_control cmd =
+    let cmd = String.trim cmd in
+    if cmd = "quit" then begin
+      (match !server_cell with Some s -> Sv.request_shutdown s | None -> ());
+      Ok "bye"
+    end
+    else
+      match control cmd with
+      | Some thunk -> ( try Ok (thunk ()) with e -> Error (Printexc.to_string e))
+      | None -> Error (Printf.sprintf "unknown control command %S" cmd)
+      | exception e -> Error (Printexc.to_string e)
+  in
+  let server =
+    Sv.create ~max_inflight ~queue_depth { Sv.eval; control = sock_control }
+  in
+  server_cell := Some server;
+  (match socket with
+   | None -> ()
+   | Some path ->
+     ignore (Sv.add_listener server (Sv.Unix_socket path) : Unix.sockaddr);
+     Fmt.epr "listening on unix:%s@." path);
+  (match tcp with
+   | None -> ()
+   | Some port -> (
+     match Sv.add_listener server (Sv.Tcp ("127.0.0.1", port)) with
+     | Unix.ADDR_INET (_, p) -> Fmt.epr "listening on tcp:127.0.0.1:%d@." p
+     | _ -> ()));
+  let on_signal (_ : int) = Sv.request_shutdown server in
+  List.iter
+    (fun s ->
+      try Sys.set_signal s (Sys.Signal_handle on_signal)
+      with Invalid_argument _ | Sys_error _ -> ())
+    [ Sys.sigint; Sys.sigterm ];
+  Sv.wait server;
+  Sv.stop server;
+  Fmt.epr "server stopped: %d connections seen, %d requests served@."
+    (Sv.connections_seen server) (Sv.requests_served server)
+
+(* One serving session over an (eval, control) pair: the stdin/stdout
+   REPL by default, the socket front-end when --socket/--tcp was given. *)
+let drive_session ~stdin_ok ~batch_size ~socket ~tcp ~max_inflight ~queue_depth
+    ~eval ~control =
+  match (socket, tcp) with
+  | None, None ->
+    let module R = Hopi_serve.Repl in
+    let read_line =
+      if stdin_ok then R.stdin_reader ()
+      else begin
+        Fmt.epr
+          "serve: stdin is unavailable; shutting down cleanly (use --socket \
+           or --tcp for network serving)@.";
+        fun () -> None
+      end
+    in
+    let st =
+      R.run ~batch_size ~read_line ~write_line:(R.stdout_writer ())
+        ~eval:(fun qs -> snd (eval ~ctx:no_ctx qs))
+        ~control ()
+    in
+    (match st.R.outcome with
+     | R.Eof | R.Quit -> ()
+     | R.Output_closed reason ->
+       (* stdout still buffers bytes the dead pipe will never take; point
+          fd 1 at /dev/null so the interpreter's at-exit flush cannot
+          re-raise the write error after our clean shutdown *)
+       (try
+          let dn = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+          Unix.dup2 dn Unix.stdout;
+          Unix.close dn
+        with Unix.Unix_error _ -> ());
+       Fmt.epr "serve: output closed (%s); shutting down cleanly@." reason)
+  | _ -> run_socket_server ~max_inflight ~queue_depth ~socket ~tcp ~eval ~control
+
 let configure_reqtrace slow_ms slo_p50_ms slo_p95_ms slo_p99_ms =
   let module Rt = Hopi_obs.Reqtrace in
   (match slow_ms with
@@ -301,7 +404,8 @@ let maint_line gen line =
 (* Live mode: the store is a generation family; churn is applied through
    Hopi_serve.Generation and flipped in without interrupting serving. *)
 let serve_live store_path jobs cache_mb batch_size pool_pages corpus_dir
-    metrics_path maintain retain fsync =
+    metrics_path maintain retain fsync ~stdin_ok ~socket ~tcp ~max_inflight
+    ~queue_depth =
   let module Serve = Hopi_serve in
   let module G = Serve.Generation in
   let c = load_dir corpus_dir in
@@ -337,87 +441,66 @@ let serve_live store_path jobs cache_mb batch_size pool_pages corpus_dir
                lines))
   in
   Hopi_util.Pool.with_pool ~jobs (fun pool ->
-      let pending = ref [] and n_pending = ref 0 in
-      let drain () =
-        if !n_pending > 0 then begin
-          let queries = Array.of_list (List.rev !pending) in
-          pending := [];
-          n_pending := 0;
-          (* one snapshot per batch: a batch never straddles a flip *)
-          let answers =
-            G.with_snapshot gen (fun snap ->
-                Serve.Batch.eval_batch ~pool snap queries)
-          in
-          Array.iter (fun a -> print_endline (Serve.Batch.render a)) answers;
-          served := !served + Array.length answers;
-          flush stdout
-        end
+      let eval ~ctx queries =
+        (* one snapshot per batch: a batch never straddles a flip *)
+        G.with_snapshot gen (fun snap ->
+            let answers =
+              Serve.Batch.eval_batch_engine ~ctx ~pool
+                (Serve.Batch.engine_of_snapshot snap)
+                queries
+            in
+            served := !served + Array.length answers;
+            (Serve.Snapshot.epoch snap, answers))
       in
-      let print_now line =
-        drain ();
-        print_endline line;
-        flush stdout
+      let control line =
+        match line with
+        | "stats" ->
+          Some
+            (fun () ->
+              Fmt.str
+                "served %d; generation %d (%d pending ops); cache %d \
+                 entries, %d bytes of %d"
+                !served (G.live gen) (G.pending_ops gen)
+                (Serve.Label_cache.entries (G.cache gen))
+                (Serve.Label_cache.bytes (G.cache gen))
+                (Serve.Label_cache.capacity_bytes (G.cache gen)))
+        | "slowlog" -> Some slowlog_reply
+        | "gens" ->
+          Some
+            (fun () ->
+              Fmt.str
+                "live %d, previous %d, tip %d; %d pending ops, %d \
+                 generations open"
+                (G.live gen) (G.previous gen) (G.tip gen)
+                (G.pending_ops gen) (G.retained gen))
+        | "flip" ->
+          Some
+            (fun () ->
+              let st = G.flip gen in
+              Fmt.str
+                "generation %d live (%.2f ms; %d nodes dirtied, %d cache \
+                 entries invalidated%s)"
+                st.G.generation
+                (float_of_int st.G.duration_ns /. 1e6)
+                st.G.dirtied st.G.invalidated
+                (if st.G.full_invalidation then "; full invalidation" else ""))
+        | "rollback" ->
+          Some
+            (fun () -> Fmt.str "generation %d live (rolled back)" (G.rollback gen))
+        | line when String.length line > 6 && String.sub line 0 6 = "apply " ->
+          Some
+            (fun () ->
+              let rest = String.sub line 6 (String.length line - 6) in
+              match G.parse_op rest with
+              | Error e -> "error: " ^ e
+              | Ok op -> (
+                match G.apply gen op with
+                | Ok msg -> "ok: " ^ msg
+                | Error e -> "error: " ^ e))
+        | _ -> None
       in
-      (try
-         while true do
-           let line = String.trim (input_line stdin) in
-           if line = "" || line.[0] = '#' then ()
-           else if line = "quit" then raise Exit
-           else if line = "stats" then
-             print_now
-               (Fmt.str
-                  "served %d; generation %d (%d pending ops); cache %d \
-                   entries, %d bytes of %d"
-                  !served (G.live gen) (G.pending_ops gen)
-                  (Serve.Label_cache.entries (G.cache gen))
-                  (Serve.Label_cache.bytes (G.cache gen))
-                  (Serve.Label_cache.capacity_bytes (G.cache gen)))
-           else if line = "slowlog" then begin
-             drain ();
-             ignore (Hopi_obs.Slo.update Hopi_obs.Reqtrace.slo);
-             print_now
-               (String.trim (Fmt.str "%a" Hopi_obs.Reqtrace.pp_slowlog ()))
-           end
-           else if line = "gens" then
-             print_now
-               (Fmt.str
-                  "live %d, previous %d, tip %d; %d pending ops, %d \
-                   generations open"
-                  (G.live gen) (G.previous gen) (G.tip gen)
-                  (G.pending_ops gen) (G.retained gen))
-           else if line = "flip" then begin
-             let st = G.flip gen in
-             print_now
-               (Fmt.str
-                  "generation %d live (%.2f ms; %d nodes dirtied, %d cache \
-                   entries invalidated%s)"
-                  st.G.generation
-                  (float_of_int st.G.duration_ns /. 1e6)
-                  st.G.dirtied st.G.invalidated
-                  (if st.G.full_invalidation then "; full invalidation" else ""))
-           end
-           else if line = "rollback" then
-             print_now
-               (Fmt.str "generation %d live (rolled back)" (G.rollback gen))
-           else if String.length line > 6 && String.sub line 0 6 = "apply " then begin
-             let rest = String.sub line 6 (String.length line - 6) in
-             match G.parse_op rest with
-             | Error e -> print_now ("error: " ^ e)
-             | Ok op -> (
-               match G.apply gen op with
-               | Ok msg -> print_now ("ok: " ^ msg)
-               | Error e -> print_now ("error: " ^ e))
-           end
-           else
-             match Serve.Batch.parse line with
-             | Error e -> print_now ("error: " ^ e)
-             | Ok q ->
-               pending := q :: !pending;
-               incr n_pending;
-               if !n_pending >= batch_size then drain ()
-         done
-       with End_of_file | Exit -> ());
-      drain ());
+      drive_session ~stdin_ok ~batch_size ~socket ~tcp ~max_inflight
+        ~queue_depth ~eval ~control);
   (match writer with Some d -> Domain.join d | None -> ());
   Fmt.epr "served %d queries; final generation %d of %d@." !served (G.live gen)
     (G.tip gen);
@@ -425,19 +508,69 @@ let serve_live store_path jobs cache_mb batch_size pool_pages corpus_dir
   ignore (Hopi_obs.Slo.update Hopi_obs.Reqtrace.slo);
   write_metrics metrics_path
 
+(* Shard mode: STORE is a directory written by [hopi shard-split]; queries
+   route through the scatter-gather {!Hopi_serve.Router}. *)
+let serve_shard dir jobs cache_mb batch_size pool_pages metrics_path ~stdin_ok
+    ~socket ~tcp ~max_inflight ~queue_depth =
+  let module Serve = Hopi_serve in
+  let router = Serve.Router.open_dir ~pool_pages ~cache_mb dir in
+  Fmt.epr
+    "serving shard dir %s: %d shards (%s), %d elements, %d label entries; \
+     cache %d MiB, jobs %d, batch %d@."
+    dir
+    (Serve.Router.n_shards router)
+    (if Serve.Router.with_dist router then "distance-aware" else "plain")
+    (Serve.Router.n_nodes router)
+    (Serve.Router.n_entries router)
+    cache_mb jobs batch_size;
+  let eng = Serve.Router.engine router in
+  let served = ref 0 in
+  Hopi_util.Pool.with_pool ~jobs (fun pool ->
+      let eval ~ctx queries =
+        let answers = Serve.Batch.eval_batch_engine ~ctx ~pool eng queries in
+        served := !served + Array.length answers;
+        (0, answers)
+      in
+      let control = function
+        | "stats" ->
+          Some
+            (fun () ->
+              Fmt.str "served %d; %d shards, %d elements, %d entries" !served
+                (Serve.Router.n_shards router)
+                (Serve.Router.n_nodes router)
+                (Serve.Router.n_entries router))
+        | "slowlog" -> Some slowlog_reply
+        | _ -> None
+      in
+      drive_session ~stdin_ok ~batch_size ~socket ~tcp ~max_inflight
+        ~queue_depth ~eval ~control);
+  Fmt.epr "served %d queries@." !served;
+  Serve.Router.close router;
+  ignore (Hopi_obs.Slo.update Hopi_obs.Reqtrace.slo);
+  write_metrics metrics_path
+
 let serve store_path jobs cache_mb batch_size pool_pages corpus verbose metrics_path
-    slow_ms slo_p50_ms slo_p95_ms slo_p99_ms live maintain retain no_fsync =
+    slow_ms slo_p50_ms slo_p95_ms slo_p99_ms live maintain retain no_fsync shard
+    socket tcp max_inflight queue_depth =
   setup_logs verbose;
   let module Serve = Hopi_serve in
   configure_reqtrace slow_ms slo_p50_ms slo_p95_ms slo_p99_ms;
-  if live || maintain <> None then begin
+  (* probe stdin before anything is opened (a later open could be handed
+     fd 0); SIGPIPE must be ignored before the first answer is written *)
+  let stdin_ok = stdin_usable () in
+  ignore_sigpipe ();
+  if shard then
+    serve_shard store_path jobs cache_mb batch_size pool_pages metrics_path
+      ~stdin_ok ~socket ~tcp ~max_inflight ~queue_depth
+  else if live || maintain <> None then begin
     match corpus with
     | None ->
       failwith
         "--live needs --corpus DIR: the writer index is built from the corpus"
     | Some dir ->
       serve_live store_path jobs cache_mb batch_size pool_pages dir
-        metrics_path maintain retain (not no_fsync)
+        metrics_path maintain retain (not no_fsync) ~stdin_ok ~socket ~tcp
+        ~max_inflight ~queue_depth
   end
   else begin
   let snap = Serve.Snapshot.open_file ~pool_pages ~cache_mb store_path in
@@ -467,60 +600,102 @@ let serve store_path jobs cache_mb batch_size pool_pages corpus verbose metrics_
                 (Fmt.str "%d matches; top %s" (List.length matches)
                    (render_match c best))))
   in
+  let eng = Serve.Batch.engine_of_snapshot ?path_eval snap in
   let served = ref 0 in
   Hopi_util.Pool.with_pool ~jobs (fun pool ->
-      let pending = ref [] and n_pending = ref 0 in
-      let drain () =
-        if !n_pending > 0 then begin
-          let queries = Array.of_list (List.rev !pending) in
-          pending := [];
-          n_pending := 0;
-          let answers = Serve.Batch.eval_batch ?path_eval ~pool snap queries in
-          Array.iter (fun a -> print_endline (Serve.Batch.render a)) answers;
-          served := !served + Array.length answers;
-          flush stdout
-        end
+      let eval ~ctx queries =
+        let answers = Serve.Batch.eval_batch_engine ~ctx ~pool eng queries in
+        served := !served + Array.length answers;
+        (Serve.Snapshot.epoch snap, answers)
       in
-      let print_now line =
-        (* out-of-band lines keep input order: drain queued queries first *)
-        drain ();
-        print_endline line;
-        flush stdout
+      let control = function
+        | "stats" ->
+          Some
+            (fun () ->
+              Fmt.str "served %d; cache %d entries, %d bytes of %d" !served
+                (Serve.Label_cache.entries (Serve.Snapshot.cache snap))
+                (Serve.Label_cache.bytes (Serve.Snapshot.cache snap))
+                (Serve.Label_cache.capacity_bytes (Serve.Snapshot.cache snap)))
+        | "slowlog" -> Some slowlog_reply
+        | _ -> None
       in
-      (try
-         while true do
-           let line = String.trim (input_line stdin) in
-           if line = "" || line.[0] = '#' then ()
-           else if line = "quit" then raise Exit
-           else if line = "stats" then
-             print_now
-               (Fmt.str "served %d; cache %d entries, %d bytes of %d" !served
-                  (Serve.Label_cache.entries (Serve.Snapshot.cache snap))
-                  (Serve.Label_cache.bytes (Serve.Snapshot.cache snap))
-                  (Serve.Label_cache.capacity_bytes (Serve.Snapshot.cache snap)))
-           else if line = "slowlog" then begin
-             (* evaluate queued queries before snapshotting the log *)
-             drain ();
-             ignore (Hopi_obs.Slo.update Hopi_obs.Reqtrace.slo);
-             print_now
-               (String.trim (Fmt.str "%a" Hopi_obs.Reqtrace.pp_slowlog ()))
-           end
-           else
-             match Serve.Batch.parse line with
-             | Error e -> print_now ("error: " ^ e)
-             | Ok q ->
-               pending := q :: !pending;
-               incr n_pending;
-               if !n_pending >= batch_size then drain ()
-         done
-       with End_of_file | Exit -> ());
-      drain ());
+      drive_session ~stdin_ok ~batch_size ~socket ~tcp ~max_inflight
+        ~queue_depth ~eval ~control);
   Fmt.epr "served %d queries@." !served;
   Serve.Snapshot.close snap;
   (* final SLO refresh so the metrics snapshot carries current gauges *)
   ignore (Hopi_obs.Slo.update Hopi_obs.Reqtrace.slo);
   write_metrics metrics_path
   end
+
+(* {1 shard-split} *)
+
+let shard_split dir out k dist no_fsync verbose =
+  setup_logs verbose;
+  let module Serve = Hopi_serve in
+  let c = load_dir dir in
+  Fmt.pr "collection: %d docs, %d elements, %d links@." (Collection.n_docs c)
+    (Collection.n_elements c) (Collection.n_links c);
+  let st, t =
+    Timer.time (fun () ->
+        Serve.Router.split ~dist ~fsync:(not no_fsync) ~k ~dir:out c)
+  in
+  Fmt.pr
+    "split into %d shards under %s in %a: %d elements, %d label entries, %d \
+     cross links, %d PSG closure pairs@."
+    st.Serve.Router.shards out Timer.pp_duration t st.Serve.Router.elements
+    st.Serve.Router.entries st.Serve.Router.cross_links
+    st.Serve.Router.psg_closure;
+  Fmt.pr "serve it with: hopi serve --shard %s@." out
+
+(* {1 client} *)
+
+let client socket tcp host batch control_cmd =
+  let module Serve = Hopi_serve in
+  ignore_sigpipe ();
+  let cl =
+    match (socket, tcp) with
+    | Some path, None -> Serve.Client.connect_unix path
+    | None, Some port -> Serve.Client.connect_tcp host port
+    | _ -> failwith "connect with exactly one of --socket PATH or --tcp PORT"
+  in
+  Fun.protect ~finally:(fun () -> Serve.Client.close cl) @@ fun () ->
+  let print_reply = function
+    | Ok (Serve.Client.Answers (epoch, lines)) ->
+      List.iter print_endline lines;
+      Fmt.epr "epoch %d, %d answer(s)@." epoch (List.length lines)
+    | Ok (Serve.Client.Busy msg) ->
+      Fmt.epr "busy: %s@." msg;
+      exit 75 (* EX_TEMPFAIL: back off and retry *)
+    | Ok (Serve.Client.Refused msg) ->
+      Fmt.epr "error: %s@." msg;
+      exit 1
+    | Error e ->
+      Fmt.epr "client: %s@." e;
+      exit 1
+  in
+  match control_cmd with
+  | Some cmd -> print_reply (Serve.Client.control cl cmd)
+  | None ->
+    let raw =
+      match batch with
+      | Some file -> read_lines file
+      | None ->
+        let acc = ref [] in
+        (try
+           while true do
+             acc := input_line stdin :: !acc
+           done
+         with End_of_file -> ());
+        List.rev !acc
+    in
+    let lines =
+      raw |> List.map String.trim
+      |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+    in
+    if lines = [] then
+      failwith "no queries: give --batch FILE, --control CMD, or pipe lines";
+    print_reply (Serve.Client.request cl lines)
 
 (* {1 slowlog} *)
 
@@ -786,14 +961,105 @@ let serve_cmd =
                  still process-crash-safe (journaled), but a power loss may \
                  lose the newest generation.")
   in
+  let shard =
+    Arg.(value & flag & info [ "shard" ]
+           ~doc:"STORE is a shard directory written by $(b,hopi shard-split); \
+                 queries scatter-gather across its K shard stores through \
+                 the replicated routing index.")
+  in
+  let socket =
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Serve the frame protocol on a Unix-domain socket bound at \
+                 $(docv) instead of reading stdin (see docs/OPERATIONS.md \
+                 for the wire format).")
+  in
+  let tcp =
+    Arg.(value & opt (some int) None & info [ "tcp" ] ~docv:"PORT"
+           ~doc:"Serve the frame protocol on 127.0.0.1:$(docv) (0 picks an \
+                 ephemeral port, printed on stderr).  Combines with \
+                 $(b,--socket).")
+  in
+  let max_inflight =
+    Arg.(value & opt int 64 & info [ "max-inflight" ] ~docv:"N"
+           ~doc:"Admission control for socket serving: reject requests with \
+                 a busy frame once $(docv) are admitted but unanswered \
+                 across all connections.")
+  in
+  let queue_depth =
+    Arg.(value & opt int 16 & info [ "queue-depth" ] ~docv:"N"
+           ~doc:"Bound one socket connection's wait queue at $(docv) \
+                 requests; further requests on that connection answer busy.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Serve reach/dist/desc/anc/path queries over a stored index \
-             (line-oriented stdin/stdout loop; see docs/OPERATIONS.md), \
-             optionally with live generational maintenance ($(b,--live))")
+             (line-oriented stdin/stdout loop, or a socket front-end with \
+             $(b,--socket)/$(b,--tcp); see docs/OPERATIONS.md), optionally \
+             with live generational maintenance ($(b,--live)) or K-shard \
+             scatter-gather routing ($(b,--shard))")
     Term.(const serve $ store $ jobs $ cache_mb $ batch $ pool_pages $ corpus
           $ verbose $ metrics_arg $ slow_ms $ slo_ms "p50" $ slo_ms "p95"
-          $ slo_ms "p99" $ live $ maintain $ retain $ no_fsync)
+          $ slo_ms "p99" $ live $ maintain $ retain $ no_fsync $ shard
+          $ socket $ tcp $ max_inflight $ queue_depth)
+
+let shard_split_cmd =
+  let out =
+    Arg.(required & opt (some string) None & info [ "out" ] ~docv:"DIR"
+           ~doc:"Shard directory to write (created if missing): one \
+                 $(b,shard-NNN.db) cover store per shard plus the \
+                 replicated $(b,routing.idx).")
+  in
+  let k =
+    Arg.(value & opt int 2 & info [ "k"; "shards" ] ~docv:"K"
+           ~doc:"Number of shards (clamped to the document count); \
+                 documents are balanced greedily by element count.")
+  in
+  let dist =
+    Arg.(value & flag & info [ "dist" ]
+           ~doc:"Build distance-aware shard covers so $(b,dist) queries \
+                 answer true shortest distances across shards.")
+  in
+  let no_fsync =
+    Arg.(value & flag & info [ "no-fsync" ]
+           ~doc:"Skip sync points when writing the shard stores.")
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log progress.") in
+  Cmd.v
+    (Cmd.info "shard-split"
+       ~doc:"Partition a corpus into K shard cover stores plus a replicated \
+             cross-link/PSG routing index, servable with $(b,hopi serve \
+             --shard)")
+    Term.(const shard_split $ dir_arg $ out $ k $ dist $ no_fsync $ verbose)
+
+let client_cmd =
+  let socket =
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Connect to the Unix-domain socket at $(docv).")
+  in
+  let tcp =
+    Arg.(value & opt (some int) None & info [ "tcp" ] ~docv:"PORT"
+           ~doc:"Connect to $(b,--host):$(docv) over TCP.")
+  in
+  let host =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR"
+           ~doc:"Dotted address for $(b,--tcp) (default 127.0.0.1).")
+  in
+  let batch =
+    Arg.(value & opt (some file) None & info [ "batch" ] ~docv:"FILE"
+           ~doc:"Send every query line in $(docv) as one request frame \
+                 (default: read the lines from stdin).")
+  in
+  let control =
+    Arg.(value & opt (some string) None & info [ "control" ] ~docv:"CMD"
+           ~doc:"Send one control command ($(b,stats), $(b,slowlog), \
+                 $(b,quit), ...) instead of queries.")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Send one batch of queries (or a control command) to a running \
+             $(b,hopi serve --socket)/$(b,--tcp) server and print the \
+             answers; exits 75 on a busy (admission-control) reply")
+    Term.(const client $ socket $ tcp $ host $ batch $ control)
 
 let metrics_cmd =
   let dir = Arg.(value & pos 0 (some dir) None & info [] ~docv:"DIR") in
@@ -880,5 +1146,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "hopi" ~doc)
-          [ gen_cmd; build_cmd; query_cmd; serve_cmd; check_cmd; inspect_cmd; verify_store_cmd;
-            metrics_cmd; trace_cmd; slowlog_cmd ]))
+          [ gen_cmd; build_cmd; query_cmd; serve_cmd; shard_split_cmd; client_cmd;
+            check_cmd; inspect_cmd; verify_store_cmd; metrics_cmd; trace_cmd;
+            slowlog_cmd ]))

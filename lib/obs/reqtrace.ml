@@ -68,6 +68,8 @@ type sample = {
   cache_misses : int;
   labels_probed : int;
   pager_reads : int;
+  conn : int;  (* connection id when served over a socket; 0 = local *)
+  queue_wait_ns : int;  (* admission-queue wait before evaluation began *)
 }
 
 type token = { t0 : Timer.t; base : int array }
@@ -175,8 +177,10 @@ let reset_slowlog () =
 (* [query]/[answer] are thunks so the rendered text is only materialised
    for requests that actually enter the slow log.  Returns the latency so
    the caller can feed its own aggregate histogram without a second clock
-   read. *)
-let finish tok ~kind ~query ~answer =
+   read.  [conn]/[queue_wait_ns] attribute socket-served requests to their
+   connection and the time they spent queued before evaluation; both
+   default to 0 for locally evaluated queries. *)
+let finish ?(conn = 0) ?(queue_wait_ns = 0) tok ~kind ~query ~answer =
   let latency_ns = Int64.to_int (Timer.elapsed_ns tok.t0) in
   let id = 1 + Atomic.fetch_and_add next_id 1 in
   Histogram.observe (kind_histogram kind) latency_ns;
@@ -196,6 +200,8 @@ let finish tok ~kind ~query ~answer =
         cache_misses = delta Local.cache_misses;
         labels_probed = delta Local.labels_probed;
         pager_reads = delta Local.pager_reads;
+        conn;
+        queue_wait_ns;
       }
   end;
   latency_ns
@@ -206,6 +212,9 @@ let pp_sample ppf s =
   let secs = float_of_int s.latency_ns *. 1e-9 in
   Format.fprintf ppf "#%d %-5s %a  %s -> %s@." s.id s.kind Timer.pp_duration secs
     s.query s.answer;
+  if s.conn <> 0 || s.queue_wait_ns > 0 then
+    Format.fprintf ppf "      conn #%d · queued %a@." s.conn Timer.pp_duration
+      (float_of_int s.queue_wait_ns *. 1e-9);
   Format.fprintf ppf "      cache %d hit%s / %d miss%s · %d label set%s probed · %d page read%s@."
     s.cache_hits
     (if s.cache_hits = 1 then "" else "s")

@@ -84,14 +84,36 @@ let render = function
 
 type path_eval = string -> (string, string) result
 
-let eval_unmetered ?path_eval snap q =
+type ctx = { conn : int; queue_wait_ns : int }
+
+(* An engine abstracts "something that answers the four index queries":
+   a single snapshot, or a Router scatter-gathering over K shards.  All
+   callbacks must be safe from any pool domain. *)
+type engine = {
+  connected : int -> int -> bool;
+  min_distance : int -> int -> int option;
+  descendants : int -> Ihs.t;
+  ancestors : int -> Ihs.t;
+  path_eval : path_eval option;
+}
+
+let engine_of_snapshot ?path_eval snap =
+  {
+    connected = Snapshot.connected snap;
+    min_distance = Snapshot.min_distance snap;
+    descendants = Snapshot.descendants snap;
+    ancestors = Snapshot.ancestors snap;
+    path_eval;
+  }
+
+let eval_unmetered eng q =
   match q with
-  | Reach (u, v) -> Bool (Snapshot.connected snap u v)
-  | Dist (u, v) -> Distance (Snapshot.min_distance snap u v)
-  | Desc u -> Count (Ihs.cardinal (Snapshot.descendants snap u))
-  | Anc u -> Count (Ihs.cardinal (Snapshot.ancestors snap u))
+  | Reach (u, v) -> Bool (eng.connected u v)
+  | Dist (u, v) -> Distance (eng.min_distance u v)
+  | Desc u -> Count (Ihs.cardinal (eng.descendants u))
+  | Anc u -> Count (Ihs.cardinal (eng.ancestors u))
   | Path expr -> (
-    match path_eval with
+    match eng.path_eval with
     | None -> Failed "path queries need a corpus (serve --corpus DIR)"
     | Some f -> ( match f expr with Ok s -> Rendered s | Error e -> Failed e))
 
@@ -107,22 +129,27 @@ let kind_of = function
    and the overall [h_query_ns] (same registry instance), and records a
    slowlog sample when the request is at or over the threshold.  The
    query/answer thunks only run for slowlogged requests. *)
-let eval ?path_eval snap q =
+let eval_engine ?ctx eng q =
   Counter.incr m_queries;
   let tok = Hopi_obs.Reqtrace.start () in
   let a =
-    match eval_unmetered ?path_eval snap q with
+    match eval_unmetered eng q with
     | a -> a
     | exception e -> Failed (Printexc.to_string e)
   in
+  let conn, queue_wait_ns =
+    match ctx with None -> (0, 0) | Some c -> (c.conn, c.queue_wait_ns)
+  in
   ignore
-    (Hopi_obs.Reqtrace.finish tok ~kind:(kind_of q)
+    (Hopi_obs.Reqtrace.finish ~conn ~queue_wait_ns tok ~kind:(kind_of q)
        ~query:(fun () -> Format.asprintf "%a" pp_query q)
        ~answer:(fun () -> render a));
   (match a with Failed _ -> Counter.incr m_failed | _ -> ());
   a
 
-let eval_batch ?path_eval ~pool snap queries =
+let eval ?path_eval snap q = eval_engine (engine_of_snapshot ?path_eval snap) q
+
+let eval_batch_engine ?ctx ~pool eng queries =
   Counter.incr m_batches;
   let n = Array.length queries in
   if n = 0 then [||]
@@ -131,10 +158,13 @@ let eval_batch ?path_eval ~pool snap queries =
        atomic cursor is not the bottleneck *)
     let chunk = max 1 (n / (Pool.jobs pool * 8)) in
     let t0 = Timer.start () in
-    let answers = Pool.map_array pool ~chunk (eval ?path_eval snap) queries in
+    let answers = Pool.map_array pool ~chunk (eval_engine ?ctx eng) queries in
     let elapsed = Int64.to_int (Timer.elapsed_ns t0) in
     Histogram.observe h_batch_ns elapsed;
     Gauge.set g_throughput
       (int_of_float (float_of_int n *. 1e9 /. float_of_int (max 1 elapsed)));
     answers
   end
+
+let eval_batch ?path_eval ~pool snap queries =
+  eval_batch_engine ~pool (engine_of_snapshot ?path_eval snap) queries

@@ -59,9 +59,38 @@ type path_eval = string -> (string, string) result
     becomes {!constructor:Failed}.  Must be safe to call from any domain of
     the pool. *)
 
+type ctx = { conn : int; queue_wait_ns : int }
+(** Request context threaded into {!Hopi_obs.Reqtrace} samples by the
+    socket server: the connection the batch arrived on and how long it
+    waited in the admission queue.  Locally evaluated queries use no
+    context (both report 0). *)
+
+type engine = {
+  connected : int -> int -> bool;
+  min_distance : int -> int -> int option;
+  descendants : int -> Hopi_util.Int_hashset.t;
+  ancestors : int -> Hopi_util.Int_hashset.t;
+  path_eval : path_eval option;
+}
+(** What evaluation needs from an index: the four query callbacks (with
+    {!Snapshot}'s semantics — reflexive reachability for known nodes,
+    [desc]/[anc] including the node itself, unknown ids unreachable and
+    empty) plus the optional path evaluator.  All callbacks must be safe
+    from any pool domain.  {!Router.engine} routes these over K shards;
+    {!engine_of_snapshot} binds them to one store. *)
+
+val engine_of_snapshot : ?path_eval:path_eval -> Snapshot.t -> engine
+
 val eval : ?path_eval:path_eval -> Snapshot.t -> query -> answer
 (** Evaluate one query (counted and timed). *)
+
+val eval_engine : ?ctx:ctx -> engine -> query -> answer
 
 val eval_batch :
   ?path_eval:path_eval -> pool:Hopi_util.Pool.t -> Snapshot.t -> query array -> answer array
 (** Evaluate a batch on the pool; answers land at their query's index. *)
+
+val eval_batch_engine :
+  ?ctx:ctx -> pool:Hopi_util.Pool.t -> engine -> query array -> answer array
+(** {!eval_batch} over an arbitrary {!engine}, tagging every sample with
+    the request context. *)

@@ -1,0 +1,143 @@
+(* Length-prefixed binary framing (layout in the interface). *)
+
+type kind =
+  | Request
+  | Control
+  | Response
+  | Error
+  | Busy
+  | Unknown of char
+
+type t = { kind : kind; id : int; payload : string }
+
+exception Protocol_error of string
+
+let header_bytes = 9
+
+let default_max_bytes = 4 * 1024 * 1024
+
+let byte_of_kind = function
+  | Request -> 'Q'
+  | Control -> 'C'
+  | Response -> 'R'
+  | Error -> 'E'
+  | Busy -> 'B'
+  | Unknown c -> invalid_arg (Printf.sprintf "Frame.encode: unknown kind %C" c)
+
+let kind_of_byte = function
+  | 'Q' -> Request
+  | 'C' -> Control
+  | 'R' -> Response
+  | 'E' -> Error
+  | 'B' -> Busy
+  | c -> Unknown c
+
+let pp_kind ppf = function
+  | Request -> Format.pp_print_string ppf "request"
+  | Control -> Format.pp_print_string ppf "control"
+  | Response -> Format.pp_print_string ppf "response"
+  | Error -> Format.pp_print_string ppf "error"
+  | Busy -> Format.pp_print_string ppf "busy"
+  | Unknown c -> Format.fprintf ppf "unknown(%C)" c
+
+let set_u32 b off v =
+  Bytes.set_uint8 b off ((v lsr 24) land 0xff);
+  Bytes.set_uint8 b (off + 1) ((v lsr 16) land 0xff);
+  Bytes.set_uint8 b (off + 2) ((v lsr 8) land 0xff);
+  Bytes.set_uint8 b (off + 3) (v land 0xff)
+
+let get_u32 b off =
+  (Bytes.get_uint8 b off lsl 24)
+  lor (Bytes.get_uint8 b (off + 1) lsl 16)
+  lor (Bytes.get_uint8 b (off + 2) lsl 8)
+  lor Bytes.get_uint8 b (off + 3)
+
+let encode kind ~id payload =
+  let n = String.length payload in
+  let b = Bytes.create (header_bytes + n) in
+  set_u32 b 0 (5 + n);
+  Bytes.set b 4 (byte_of_kind kind);
+  set_u32 b 5 (id land 0xffffffff);
+  Bytes.blit_string payload 0 b header_bytes n;
+  b
+
+let request ~id lines = encode Request ~id (String.concat "\n" lines)
+
+let control ~id cmd = encode Control ~id cmd
+
+let response ~id ~epoch lines =
+  let body = String.concat "\n" lines in
+  let payload = Bytes.create (4 + String.length body) in
+  set_u32 payload 0 (epoch land 0xffffffff);
+  Bytes.blit_string body 0 payload 4 (String.length body);
+  encode Response ~id (Bytes.unsafe_to_string payload)
+
+let error ~id msg = encode Error ~id msg
+
+let busy ~id msg = encode Busy ~id msg
+
+let response_payload payload =
+  (* [Error]/[Ok] here are Stdlib.result's — the frame-kind constructors
+     shadow them in this module *)
+  if String.length payload < 4 then
+    Stdlib.Error "response payload shorter than its epoch"
+  else begin
+    let b = Bytes.unsafe_of_string payload in
+    let epoch = get_u32 b 0 in
+    let body = String.sub payload 4 (String.length payload - 4) in
+    Stdlib.Ok (epoch, if body = "" then [] else String.split_on_char '\n' body)
+  end
+
+(* {1 I/O} *)
+
+let rec read_exact fd b off len =
+  if len > 0 then begin
+    let n =
+      try Unix.read fd b off len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> read_retry fd b off len
+    in
+    if n = 0 then raise End_of_file;
+    read_exact fd b (off + n) (len - n)
+  end
+
+and read_retry fd b off len =
+  try Unix.read fd b off len
+  with Unix.Unix_error (Unix.EINTR, _, _) -> read_retry fd b off len
+
+(* the length field alone, distinguishing clean EOF (nothing read) from a
+   truncated header *)
+let read_len fd =
+  let b = Bytes.create 4 in
+  let n =
+    try Unix.read fd b 0 4 with Unix.Unix_error (Unix.EINTR, _, _) -> read_retry fd b 0 4
+  in
+  if n = 0 then None
+  else begin
+    read_exact fd b n (4 - n);
+    Some (get_u32 b 0)
+  end
+
+let read ?(max_bytes = default_max_bytes) fd =
+  match read_len fd with
+  | None -> None
+  | Some len ->
+    if len < 5 then
+      raise (Protocol_error (Printf.sprintf "frame length %d below the 5-byte minimum" len));
+    if len > max_bytes then
+      raise
+        (Protocol_error (Printf.sprintf "frame length %d over the %d-byte limit" len max_bytes));
+    let b = Bytes.create len in
+    read_exact fd b 0 len;
+    let kind = kind_of_byte (Bytes.get b 0) in
+    let id = get_u32 b 1 in
+    let payload = Bytes.sub_string b 5 (len - 5) in
+    Some { kind; id; payload }
+
+let write fd b =
+  let len = Bytes.length b in
+  let off = ref 0 in
+  while !off < len do
+    match Unix.write fd b !off (len - !off) with
+    | n -> off := !off + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done

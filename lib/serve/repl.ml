@@ -1,0 +1,75 @@
+(* The serve REPL (contract in the interface).  The CLI owns what the
+   commands *do* (snapshot vs generation family vs shard router) through
+   the [eval]/[control] callbacks; this module owns the line protocol and
+   the shutdown discipline. *)
+
+type outcome =
+  | Eof
+  | Quit
+  | Output_closed of string
+
+type stats = { served : int; outcome : outcome }
+
+let run ?(batch_size = 1) ~read_line ~write_line ~eval ~control () =
+  let served = ref 0 in
+  let pending = ref [] and n_pending = ref 0 in
+  let drain () =
+    if !n_pending > 0 then begin
+      let queries = Array.of_list (List.rev !pending) in
+      pending := [];
+      n_pending := 0;
+      let answers = eval queries in
+      Array.iter (fun a -> write_line (Batch.render a)) answers;
+      served := !served + Array.length answers
+    end
+  in
+  let write_now line =
+    (* out-of-band lines keep input order: drain queued queries first *)
+    drain ();
+    write_line line
+  in
+  let finish outcome =
+    (* drain what's queued, but a dead writer can't take the answers *)
+    (try drain () with Sys_error _ | Unix.Unix_error _ -> ());
+    { served = !served; outcome }
+  in
+  let rec loop () =
+    match read_line () with
+    | None | (exception Sys_error _) | (exception End_of_file) -> finish Eof
+    | Some line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then loop ()
+      else if line = "quit" then finish Quit
+      else begin
+        (match control line with
+         | Some thunk ->
+           (* recognition is pure; the thunk runs over a drained queue *)
+           drain ();
+           write_line
+             (match thunk () with
+              | reply -> reply
+              | exception e -> "error: " ^ Printexc.to_string e)
+         | None -> (
+           match Batch.parse line with
+           | Error e -> write_now ("error: " ^ e)
+           | Ok q ->
+             pending := q :: !pending;
+             incr n_pending;
+             if !n_pending >= batch_size then drain ()));
+        loop ()
+      end
+  in
+  try loop () with
+  | Sys_error reason -> { served = !served; outcome = Output_closed reason }
+  | Unix.Unix_error (err, fn, _) ->
+    { served = !served; outcome = Output_closed (fn ^ ": " ^ Unix.error_message err) }
+
+let stdin_reader () () =
+  match input_line stdin with
+  | line -> Some line
+  | exception End_of_file -> None
+  | exception Sys_error _ -> None
+
+let stdout_writer () line =
+  print_endline line;
+  flush stdout

@@ -1,0 +1,57 @@
+(** The line-oriented serve loop ([hopi serve]'s stdin/stdout protocol),
+    extracted from the CLI so its shutdown behaviour is unit-testable.
+
+    Input lines are trimmed; blank lines and [#] comments are skipped;
+    [quit] ends the loop.  A line the [control] callback claims is a
+    control command: queued queries are drained first (out-of-band
+    replies keep input order) and the reply — or [error: ...] — is
+    written.  Every other line parses as a {!Batch} query and queues;
+    queues drain at [batch_size] via [eval], one output line per query in
+    input order.  Lines that fail to parse answer [error: ...]
+    immediately.
+
+    Shutdown is always clean, never an escaping exception:
+
+    - end of input (EOF, including mid-batch: pending queries drain
+      first) returns {!constructor:Eof};
+    - [quit] drains and returns {!constructor:Quit};
+    - a writer failure ([Sys_error] from a closed or full output pipe,
+      [EPIPE]-style; the reader going away) returns
+      {!constructor:Output_closed} with the reason — the caller logs it
+      and exits 0, because a consumer hanging up mid-stream is a normal
+      way for a pipe session to end.  The CLI additionally ignores
+      [SIGPIPE] so the write surfaces as [Sys_error]/[EPIPE] here
+      instead of killing the process. *)
+
+type outcome =
+  | Eof
+  | Quit
+  | Output_closed of string  (** the writer failed; payload is the reason *)
+
+type stats = { served : int; outcome : outcome }
+
+val run :
+  ?batch_size:int ->
+  read_line:(unit -> string option) ->
+  write_line:(string -> unit) ->
+  eval:(Batch.query array -> Batch.answer array) ->
+  control:(string -> (unit -> string) option) ->
+  unit ->
+  stats
+(** [read_line] returns [None] at end of input and may raise [Sys_error]
+    (treated as EOF).  [write_line] writes one output line and may raise
+    [Sys_error] or [Unix.Unix_error] (treated as {!constructor:
+    Output_closed}).  [eval] evaluates a drained batch in input order.
+    [control line] recognises control commands: [Some thunk] makes the
+    loop drain queued queries and then run the thunk for the reply —
+    recognition is pure, execution observes a drained queue ([flip]
+    cannot reorder around queries that arrived first).  A thunk that
+    raises answers [error: ...] instead of killing the loop.
+    [batch_size] (default 1) matches [serve --batch]. *)
+
+val stdin_reader : unit -> unit -> string option
+(** Read trimmed lines off this process's stdin.  Clean EOF and a broken
+    input stream both end the stream ([None]). *)
+
+val stdout_writer : unit -> string -> unit
+(** [print_endline] + flush, surfacing write failures as [Sys_error]. *)

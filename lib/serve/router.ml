@@ -1,0 +1,479 @@
+(* K-shard split + scatter-gather routing (contract in the interface).
+
+   Correctness rests on the paper's path decomposition: any path between
+   elements of different partitions factors at its cross-partition link
+   edges into within-partition segments glued by links.  The routing
+   index therefore needs exactly (a) per-shard covers for the
+   within-partition segments and (b) the transitive closure of the PSG —
+   whose nodes are the cross-link endpoints, whose link edges are the
+   cross links themselves, and whose within edges connect a link target
+   to every link source it reaches inside its own partition.  A query
+   crossing shards resolves as
+
+     u ==within==> s  --PSG closure-->  t  ==within==> v
+
+   minimised (for distances) over every source [s] of shard(u) and
+   target [t] of shard(v); the closure is multi-hop, so paths that
+   traverse — or re-enter — any number of shards are covered. *)
+
+module Collection = Hopi_collection.Collection
+module Partitioning = Hopi_collection.Partitioning
+module Psg = Hopi_collection.Psg
+module Digraph = Hopi_graph.Digraph
+module Closure = Hopi_graph.Closure
+module Builder = Hopi_twohop.Builder
+module Dist_builder = Hopi_twohop.Dist_builder
+module Cover = Hopi_twohop.Cover
+module Dist_cover = Hopi_twohop.Dist_cover
+module S = Hopi_storage
+module Ihs = Hopi_util.Int_hashset
+module Registry = Hopi_obs.Registry
+module Counter = Hopi_obs.Counter
+
+let m_single =
+  Registry.counter "hopi_router_single_shard_total"
+    ~help:"Queries answered by one shard without consulting the PSG closure"
+
+let m_scatter =
+  Registry.counter "hopi_router_scatter_total"
+    ~help:"Queries resolved through the PSG closure across shards"
+
+type split_stats = {
+  shards : int;
+  elements : int;
+  cross_links : int;
+  psg_closure : int;
+  entries : int;
+}
+
+let shard_path ~dir k = Filename.concat dir (Printf.sprintf "shard-%03d.db" k)
+
+let routing_path ~dir = Filename.concat dir "routing.idx"
+
+let magic = "hopi-shard-routing 1"
+
+(* {1 Split} *)
+
+(* deterministic greedy balance: heaviest documents first, each to the
+   currently lightest shard (ties: lowest shard index) *)
+let assign_docs c k =
+  let docs =
+    Collection.doc_ids c
+    |> List.map (fun d -> (d, Collection.n_elements_of_doc c d))
+    |> List.sort (fun (d1, w1) (d2, w2) ->
+           if w1 <> w2 then compare w2 w1 else compare d1 d2)
+  in
+  let load = Array.make k 0 in
+  let part_of_doc = Hashtbl.create 64 in
+  List.iter
+    (fun (d, w) ->
+      let best = ref 0 in
+      for p = 1 to k - 1 do
+        if load.(p) < load.(!best) then best := p
+      done;
+      load.(!best) <- load.(!best) + w;
+      Hashtbl.replace part_of_doc d !best)
+    docs;
+  part_of_doc
+
+(* weighted single-source shortest paths over the (tiny) PSG, starting
+   from [s]'s out-edges so a cycle back to [s] is found at its real
+   positive distance; [weight u v] may answer [None] for an edge that
+   should not be crossed (never happens for well-formed PSGs). *)
+let psg_from graph ~weight s =
+  let dist = Hashtbl.create 16 in
+  (* unvisited frontier as a simple priority list — PSGs are small *)
+  let module Pq = Set.Make (struct
+    type t = int * int (* distance, node *)
+
+    let compare = compare
+  end) in
+  let pq = ref Pq.empty in
+  let relax d v =
+    match Hashtbl.find_opt dist v with
+    | Some d' when d' <= d -> ()
+    | _ ->
+      Hashtbl.replace dist v d;
+      pq := Pq.add (d, v) !pq
+  in
+  Digraph.iter_succ graph s (fun v ->
+      match weight s v with None -> () | Some w -> relax w v);
+  let rec drain () =
+    match Pq.min_elt_opt !pq with
+    | None -> ()
+    | Some ((d, u) as el) ->
+      pq := Pq.remove el !pq;
+      if Hashtbl.find_opt dist u = Some d then
+        Digraph.iter_succ graph u (fun v ->
+            match weight u v with None -> () | Some w -> relax (d + w) v);
+      drain ()
+  in
+  drain ();
+  dist
+
+let split ?(dist = false) ?(fsync = true) ~k ~dir c =
+  if k < 1 then invalid_arg "Router.split: k < 1";
+  let k = max 1 (min k (max 1 (Collection.n_docs c))) in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let part = Partitioning.make c ~part_of_doc:(assign_docs c k) ~n:k in
+  (* per-shard: build the within-partition cover, persist it, and keep an
+     in-memory reachability/distance oracle for the PSG edges *)
+  let entries = ref 0 in
+  let oracles =
+    Array.init k (fun p ->
+        let sub = Partitioning.element_subgraph part c p in
+        let reach, pdist, load =
+          if dist then begin
+            let dc, _ = Dist_builder.build sub in
+            ( Dist_cover.connected dc,
+              Dist_cover.dist dc,
+              fun store -> S.Cover_store.load_dist_cover store dc )
+          end
+          else begin
+            let cover, _ = Builder.build (Closure.compute sub) in
+            ( Cover.connected cover,
+              (fun u v -> if Cover.connected cover u v then Some 0 else None),
+              fun store -> S.Cover_store.load_cover store cover )
+          end
+        in
+        let pager =
+          S.Pager.create ~pool_pages:512 ~fsync (S.Pager.File (shard_path ~dir p))
+        in
+        let store = S.Cover_store.create pager in
+        load store;
+        S.Cover_store.save store;
+        entries := !entries + S.Cover_store.n_entries store;
+        S.Pager.close pager;
+        (reach, pdist))
+  in
+  let reach_within t s =
+    let p = Partitioning.part_of_element part c t in
+    fst oracles.(p) t s
+  in
+  let psg = Psg.build c part ~reaches_within_partition:reach_within in
+  let link_set = Hashtbl.create 64 in
+  List.iter (fun e -> Hashtbl.replace link_set e ()) psg.Psg.link_edges;
+  (* PSG edge weights: a cross link is one real edge; a within edge costs
+     the partition's stored distance (0 on plain covers, where only
+     reachability matters) *)
+  let weight u v =
+    if Hashtbl.mem link_set (u, v) then Some 1
+    else begin
+      let p = Partitioning.part_of_element part c u in
+      snd oracles.(p) u v
+    end
+  in
+  let closure = ref [] and n_closure = ref 0 in
+  Ihs.iter
+    (fun s ->
+      let d = psg_from psg.Psg.graph ~weight s in
+      Hashtbl.iter
+        (fun t dt ->
+          if Ihs.mem psg.Psg.targets t then begin
+            closure := (s, t, dt) :: !closure;
+            incr n_closure
+          end)
+        d)
+    psg.Psg.sources;
+  (* the routing index: element map, cross links, PSG closure *)
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Printf.sprintf "shards %d\n" k);
+  Buffer.add_string buf (Printf.sprintf "dist %d\n" (if dist then 1 else 0));
+  let elems = ref [] and n_elems = ref 0 in
+  Collection.iter_elements c (fun e ->
+      elems := e :: !elems;
+      incr n_elems);
+  Buffer.add_string buf (Printf.sprintf "elements %d\n" !n_elems);
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "e %d %d\n" e (Partitioning.part_of_element part c e)))
+    (List.sort compare !elems);
+  let links = List.sort compare psg.Psg.link_edges in
+  Buffer.add_string buf (Printf.sprintf "links %d\n" (List.length links));
+  List.iter (fun (u, v) -> Buffer.add_string buf (Printf.sprintf "l %d %d\n" u v)) links;
+  Buffer.add_string buf (Printf.sprintf "closure %d\n" !n_closure);
+  List.iter
+    (fun (s, t, d) -> Buffer.add_string buf (Printf.sprintf "c %d %d %d\n" s t d))
+    (List.sort compare !closure);
+  Buffer.add_string buf "end\n";
+  let path = routing_path ~dir in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Buffer.output_buffer oc buf;
+  if fsync then flush oc;
+  close_out oc;
+  Sys.rename tmp path;
+  {
+    shards = k;
+    elements = !n_elems;
+    cross_links = List.length links;
+    psg_closure = !n_closure;
+    entries = !entries;
+  }
+
+(* {1 Loading} *)
+
+type t = {
+  k : int;
+  with_dist : bool;
+  snaps : Snapshot.t array;
+  elem_shard : (int, int) Hashtbl.t;
+  sources_of : int array array;  (* per shard, sorted cross-link sources *)
+  targets_of : int array array;
+  fwd : (int, (int * int) array) Hashtbl.t;  (* source -> (target, d) *)
+  rev : (int, (int * int) array) Hashtbl.t;  (* target -> (source, d) *)
+  entries : int;
+}
+
+let parse_error path line msg =
+  raise (Sys_error (Printf.sprintf "%s: bad routing index (line %d): %s" path line msg))
+
+let open_dir ?(pool_pages = 4096) ?(cache_mb = 64) dir =
+  let path = routing_path ~dir in
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+  let lineno = ref 0 in
+  let line () =
+    incr lineno;
+    match input_line ic with
+    | l -> l
+    | exception End_of_file -> parse_error path !lineno "truncated"
+  in
+  let fail msg = parse_error path !lineno msg in
+  let counted prefix =
+    match String.split_on_char ' ' (line ()) with
+    | [ p; n ] when p = prefix -> (
+      match int_of_string_opt n with Some n when n >= 0 -> n | _ -> fail (prefix ^ " count"))
+    | _ -> fail ("expected \"" ^ prefix ^ " N\"")
+  in
+  if line () <> magic then fail "magic mismatch";
+  let k = counted "shards" in
+  if k < 1 then fail "no shards";
+  let with_dist = counted "dist" <> 0 in
+  let n_elems = counted "elements" in
+  let elem_shard = Hashtbl.create (max 16 n_elems) in
+  for _ = 1 to n_elems do
+    match String.split_on_char ' ' (line ()) with
+    | [ "e"; e; s ] -> (
+      match (int_of_string_opt e, int_of_string_opt s) with
+      | Some e, Some s when s >= 0 && s < k -> Hashtbl.replace elem_shard e s
+      | _ -> fail "element line")
+    | _ -> fail "element line"
+  done;
+  let n_links = counted "links" in
+  let srcs = Array.make k [] and tgts = Array.make k [] in
+  let shard_of_exn e =
+    match Hashtbl.find_opt elem_shard e with
+    | Some s -> s
+    | None -> fail (Printf.sprintf "link endpoint %d not in the element map" e)
+  in
+  let src_seen = Ihs.create () and tgt_seen = Ihs.create () in
+  for _ = 1 to n_links do
+    match String.split_on_char ' ' (line ()) with
+    | [ "l"; u; v ] -> (
+      match (int_of_string_opt u, int_of_string_opt v) with
+      | Some u, Some v ->
+        if not (Ihs.mem src_seen u) then begin
+          Ihs.add src_seen u;
+          let s = shard_of_exn u in
+          srcs.(s) <- u :: srcs.(s)
+        end;
+        if not (Ihs.mem tgt_seen v) then begin
+          Ihs.add tgt_seen v;
+          let s = shard_of_exn v in
+          tgts.(s) <- v :: tgts.(s)
+        end
+      | _ -> fail "link line")
+    | _ -> fail "link line"
+  done;
+  let n_closure = counted "closure" in
+  let fwd_l = Hashtbl.create 64 and rev_l = Hashtbl.create 64 in
+  let push h key x =
+    Hashtbl.replace h key (x :: Option.value ~default:[] (Hashtbl.find_opt h key))
+  in
+  for _ = 1 to n_closure do
+    match String.split_on_char ' ' (line ()) with
+    | [ "c"; s; t; d ] -> (
+      match (int_of_string_opt s, int_of_string_opt t, int_of_string_opt d) with
+      | Some s, Some t, Some d when d >= 0 ->
+        push fwd_l s (t, d);
+        push rev_l t (s, d)
+      | _ -> fail "closure line")
+    | _ -> fail "closure line"
+  done;
+  if line () <> "end" then fail "missing end marker";
+  let freeze h =
+    let out = Hashtbl.create (Hashtbl.length h) in
+    Hashtbl.iter
+      (fun key l ->
+        let a = Array.of_list l in
+        Array.sort compare a;
+        Hashtbl.replace out key a)
+      h;
+    out
+  in
+  (* one shared page pool and label cache across all shard snapshots *)
+  let pool = S.Pager.Read_pool.create ~pages:pool_pages () in
+  let cache = Label_cache.create ~capacity_bytes:(cache_mb * 1024 * 1024) () in
+  let snaps = Array.init k (fun p -> Snapshot.open_file ~pool ~cache (shard_path ~dir p)) in
+  let entries = Array.fold_left (fun acc s -> acc + Snapshot.n_entries s) 0 snaps in
+  {
+    k;
+    with_dist;
+    snaps;
+    elem_shard;
+    sources_of = Array.map (fun l -> Array.of_list (List.sort compare l)) srcs;
+    targets_of = Array.map (fun l -> Array.of_list (List.sort compare l)) tgts;
+    fwd = freeze fwd_l;
+    rev = freeze rev_l;
+    entries;
+  }
+
+let close t = Array.iter Snapshot.close t.snaps
+
+let n_shards t = t.k
+
+let with_dist t = t.with_dist
+
+let n_nodes t = Hashtbl.length t.elem_shard
+
+let n_entries t = t.entries
+
+let shard_of t e = Hashtbl.find_opt t.elem_shard e
+
+let fwd_of t s = Option.value ~default:[||] (Hashtbl.find_opt t.fwd s)
+
+let rev_of t tg = Option.value ~default:[||] (Hashtbl.find_opt t.rev tg)
+
+(* {1 Queries} *)
+
+(* is there a cross path u ==> v (shards [a] and [b] may be equal: a path
+   can leave shard [a] and come back)? *)
+let cross_connected t a u b v =
+  let tset = Ihs.create () in
+  Array.iter
+    (fun tg -> if Snapshot.connected t.snaps.(b) tg v then Ihs.add tset tg)
+    t.targets_of.(b);
+  (not (Ihs.is_empty tset))
+  && Array.exists
+       (fun s ->
+         Snapshot.connected t.snaps.(a) u s
+         && Array.exists (fun (tg, _) -> Ihs.mem tset tg) (fwd_of t s))
+       t.sources_of.(a)
+
+let connected t u v =
+  match (shard_of t u, shard_of t v) with
+  | Some a, Some b ->
+    if a = b && Snapshot.connected t.snaps.(a) u v then begin
+      Counter.incr m_single;
+      true
+    end
+    else begin
+      Counter.incr m_scatter;
+      cross_connected t a u b v
+    end
+  | _ ->
+    Counter.incr m_single;
+    false
+
+let min_distance t u v =
+  match (shard_of t u, shard_of t v) with
+  | None, _ | _, None ->
+    Counter.incr m_single;
+    None
+  | Some a, Some b ->
+    let direct = if a = b then Snapshot.min_distance t.snaps.(a) u v else None in
+    if not t.with_dist then begin
+      (* plain covers store every reachable pair at distance 0, exactly
+         like an unsharded plain Cover_store *)
+      match direct with
+      | Some _ ->
+        Counter.incr m_single;
+        direct
+      | None ->
+        Counter.incr m_scatter;
+        if cross_connected t a u b v then Some 0 else None
+    end
+    else begin
+      Counter.incr (if a = b then m_single else m_scatter);
+      (* even a same-shard pair may be closer through other shards *)
+      let dv = Hashtbl.create 16 in
+      Array.iter
+        (fun tg ->
+          match Snapshot.min_distance t.snaps.(b) tg v with
+          | Some d -> Hashtbl.replace dv tg d
+          | None -> ())
+        t.targets_of.(b);
+      let best = ref direct in
+      let consider d = match !best with Some b when b <= d -> () | _ -> best := Some d in
+      if Hashtbl.length dv > 0 then
+        Array.iter
+          (fun s ->
+            match Snapshot.min_distance t.snaps.(a) u s with
+            | None -> ()
+            | Some du ->
+              Array.iter
+                (fun (tg, dpsg) ->
+                  match Hashtbl.find_opt dv tg with
+                  | Some dvv -> consider (du + dpsg + dvv)
+                  | None -> ())
+                (fwd_of t s))
+          t.sources_of.(a);
+      !best
+    end
+
+let descendants t u =
+  match shard_of t u with
+  | None ->
+    Counter.incr m_single;
+    Ihs.create ()
+  | Some a ->
+    let acc = Snapshot.descendants t.snaps.(a) u in
+    let tset = Ihs.create () in
+    Array.iter
+      (fun s ->
+        if Ihs.mem acc s then
+          Array.iter (fun (tg, _) -> Ihs.add tset tg) (fwd_of t s))
+      t.sources_of.(a);
+    Counter.incr (if Ihs.is_empty tset then m_single else m_scatter);
+    Ihs.iter
+      (fun tg ->
+        match shard_of t tg with
+        | Some b -> Ihs.iter (fun w -> Ihs.add acc w) (Snapshot.descendants t.snaps.(b) tg)
+        | None -> ())
+      tset;
+    acc
+
+let ancestors t v =
+  match shard_of t v with
+  | None ->
+    Counter.incr m_single;
+    Ihs.create ()
+  | Some b ->
+    let acc = Snapshot.ancestors t.snaps.(b) v in
+    let sset = Ihs.create () in
+    Array.iter
+      (fun tg ->
+        if Ihs.mem acc tg then
+          Array.iter (fun (s, _) -> Ihs.add sset s) (rev_of t tg))
+      t.targets_of.(b);
+    Counter.incr (if Ihs.is_empty sset then m_single else m_scatter);
+    Ihs.iter
+      (fun s ->
+        match shard_of t s with
+        | Some a -> Ihs.iter (fun w -> Ihs.add acc w) (Snapshot.ancestors t.snaps.(a) s)
+        | None -> ())
+      sset;
+    acc
+
+let engine t =
+  {
+    Batch.connected = connected t;
+    min_distance = min_distance t;
+    descendants = descendants t;
+    ancestors = ancestors t;
+    path_eval = None;
+  }

@@ -1,0 +1,364 @@
+(* Socket front-end (model in the interface).
+
+   Invariants:
+   - every admitted request is answered exactly once ('R' or 'E'), every
+     rejected request answers 'B' — frames are never silently dropped;
+   - [handler.eval]/[handler.control] run under [eval_mu]: one pool
+     submission at a time process-wide;
+   - a connection's fd is written only under its write mutex (the reader
+     thread writes rejections and protocol errors, the worker thread
+     writes answers) and closed exactly once, by the worker, after the
+     reader has pushed [Close] and the queue has drained. *)
+
+module Registry = Hopi_obs.Registry
+module Counter = Hopi_obs.Counter
+module Gauge = Hopi_obs.Gauge
+module Histogram = Hopi_obs.Histogram
+module Timer = Hopi_util.Timer
+
+let m_conns =
+  Registry.counter "hopi_server_connections_total" ~help:"Connections ever accepted"
+
+let g_open = Registry.gauge "hopi_server_connections_open" ~help:"Connections currently open"
+
+let m_requests =
+  Registry.counter "hopi_server_requests_total" ~help:"Request frames admitted"
+
+let m_rejected =
+  Registry.counter "hopi_server_rejected_total"
+    ~help:"Request frames rejected with a busy frame (admission control)"
+
+let m_protocol_errors =
+  Registry.counter "hopi_server_protocol_errors_total"
+    ~help:"Malformed or unexpected frames received"
+
+let g_inflight =
+  Registry.gauge "hopi_server_inflight" ~help:"Requests admitted but not yet answered"
+
+let h_queue_wait =
+  Registry.histogram "hopi_server_queue_wait_ns"
+    ~help:"Time a request spent in its connection queue before evaluation"
+
+type endpoint =
+  | Unix_socket of string
+  | Tcp of string * int
+
+type handler = {
+  eval : ctx:Batch.ctx -> Batch.query array -> int * Batch.answer array;
+  control : string -> (string, string) result;
+}
+
+type work =
+  | Req of { id : int; payload : string; control : bool; t_enq : Timer.t }
+  | Close
+
+type conn = {
+  conn_id : int;
+  fd : Unix.file_descr;
+  queue : work Queue.t;
+  q_mu : Mutex.t;
+  q_cond : Condition.t;
+  mutable q_len : int;  (* queued requests, Close excluded *)
+  w_mu : Mutex.t;
+  mutable alive : bool;  (* cleared when a write fails: peer is gone *)
+}
+
+type t = {
+  handler : handler;
+  max_inflight : int;
+  queue_depth : int;
+  max_frame_bytes : int;
+  inflight : int Atomic.t;
+  eval_mu : Mutex.t;
+  mutable listeners : (Unix.file_descr * endpoint) list;
+  mutable accept_threads : Thread.t list;
+  conns : (int, conn * Thread.t * Thread.t) Hashtbl.t;
+  conns_mu : Mutex.t;
+  next_conn : int Atomic.t;
+  stopping : bool Atomic.t;
+  sd_mu : Mutex.t;
+  sd_cond : Condition.t;
+  mutable sd_requested : bool;
+  served : int Atomic.t;
+}
+
+let create ?(max_inflight = 64) ?(queue_depth = 16) ?(max_frame_bytes = Frame.default_max_bytes)
+    handler =
+  {
+    handler;
+    max_inflight = max 1 max_inflight;
+    queue_depth = max 1 queue_depth;
+    max_frame_bytes;
+    inflight = Atomic.make 0;
+    eval_mu = Mutex.create ();
+    listeners = [];
+    accept_threads = [];
+    conns = Hashtbl.create 16;
+    conns_mu = Mutex.create ();
+    next_conn = Atomic.make 0;
+    stopping = Atomic.make false;
+    sd_mu = Mutex.create ();
+    sd_cond = Condition.create ();
+    sd_requested = false;
+    served = Atomic.make 0;
+  }
+
+(* {1 Per-connection writes} *)
+
+let send conn frame =
+  Mutex.protect conn.w_mu (fun () ->
+      if conn.alive then
+        try Frame.write conn.fd frame
+        with Unix.Unix_error _ | Sys_error _ -> conn.alive <- false)
+
+(* {1 Worker thread} *)
+
+let split_lines payload =
+  String.split_on_char '\n' payload
+  |> List.filter_map (fun l ->
+         let l = String.trim l in
+         if l = "" || l.[0] = '#' then None else Some l)
+
+let answer_query t conn ~id ~payload ~queue_wait_ns =
+  let slots = List.map Batch.parse (split_lines payload) in
+  let queries =
+    Array.of_list (List.filter_map (function Ok q -> Some q | Error _ -> None) slots)
+  in
+  let ctx = { Batch.conn = conn.conn_id; queue_wait_ns } in
+  match Mutex.protect t.eval_mu (fun () -> t.handler.eval ~ctx queries) with
+  | epoch, answers ->
+    (* merge evaluated answers back into their input slots; parse
+       failures answer in place, exactly like the stdin loop *)
+    let next = ref 0 in
+    let lines =
+      List.map
+        (fun slot ->
+          Batch.render
+            (match slot with
+            | Ok _ ->
+              let a = answers.(!next) in
+              incr next;
+              a
+            | Error e -> Batch.Failed e))
+        slots
+    in
+    send conn (Frame.response ~id ~epoch lines)
+  | exception e -> send conn (Frame.error ~id ("evaluation failed: " ^ Printexc.to_string e))
+
+let answer_control t conn ~id ~payload =
+  match Mutex.protect t.eval_mu (fun () -> t.handler.control payload) with
+  | Ok body -> send conn (Frame.response ~id ~epoch:0 [ body ])
+  | Error e -> send conn (Frame.error ~id e)
+  | exception e -> send conn (Frame.error ~id (Printexc.to_string e))
+
+let worker t conn () =
+  let rec loop () =
+    let w =
+      Mutex.protect conn.q_mu (fun () ->
+          while Queue.is_empty conn.queue do
+            Condition.wait conn.q_cond conn.q_mu
+          done;
+          let w = Queue.pop conn.queue in
+          (match w with Close -> () | Req _ -> conn.q_len <- conn.q_len - 1);
+          w)
+    in
+    match w with
+    | Close -> ()
+    | Req { id; payload; control; t_enq } ->
+      let queue_wait_ns = Int64.to_int (Timer.elapsed_ns t_enq) in
+      Histogram.observe h_queue_wait queue_wait_ns;
+      (try
+         if control then answer_control t conn ~id ~payload
+         else answer_query t conn ~id ~payload ~queue_wait_ns
+       with e ->
+         send conn (Frame.error ~id ("internal error: " ^ Printexc.to_string e)));
+      Atomic.incr t.served;
+      Atomic.decr t.inflight;
+      Gauge.set g_inflight (Atomic.get t.inflight);
+      loop ()
+  in
+  loop ();
+  (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+  Mutex.protect t.conns_mu (fun () -> Hashtbl.remove t.conns conn.conn_id);
+  Gauge.set g_open (Mutex.protect t.conns_mu (fun () -> Hashtbl.length t.conns))
+
+(* {1 Reader thread} *)
+
+let enqueue conn w =
+  Mutex.protect conn.q_mu (fun () ->
+      Queue.push w conn.queue;
+      (match w with Close -> () | Req _ -> conn.q_len <- conn.q_len + 1);
+      Condition.signal conn.q_cond)
+
+let reader t conn () =
+  let reject id reason =
+    Counter.incr m_rejected;
+    send conn (Frame.busy ~id reason)
+  in
+  let admit id payload control =
+    (* exact global cap: claim a slot, hand it back if over *)
+    let claimed = Atomic.fetch_and_add t.inflight 1 in
+    if claimed >= t.max_inflight then begin
+      Atomic.decr t.inflight;
+      reject id (Printf.sprintf "server at max-inflight (%d)" t.max_inflight)
+    end
+    else if Mutex.protect conn.q_mu (fun () -> conn.q_len) >= t.queue_depth then begin
+      Atomic.decr t.inflight;
+      reject id (Printf.sprintf "connection queue full (%d)" t.queue_depth)
+    end
+    else begin
+      Counter.incr m_requests;
+      Gauge.set g_inflight (Atomic.get t.inflight);
+      enqueue conn (Req { id; payload; control; t_enq = Timer.start () })
+    end
+  in
+  let rec loop () =
+    match Frame.read ~max_bytes:t.max_frame_bytes conn.fd with
+    | None -> () (* clean close *)
+    | exception End_of_file -> () (* mid-frame disconnect: clean close *)
+    | exception Frame.Protocol_error msg ->
+      (* stream out of sync: report and close *)
+      Counter.incr m_protocol_errors;
+      send conn (Frame.error ~id:0 msg)
+    | exception Unix.Unix_error _ -> ()
+    | exception Sys_error _ -> ()
+    | Some { Frame.kind = Request; id; payload } ->
+      admit id payload false;
+      loop ()
+    | Some { Frame.kind = Control; id; payload } ->
+      admit id payload true;
+      loop ()
+    | Some { Frame.kind = Unknown c; id; _ } ->
+      (* length was believable, payload consumed: recoverable *)
+      Counter.incr m_protocol_errors;
+      send conn (Frame.error ~id (Printf.sprintf "unknown frame kind %C" c));
+      loop ()
+    | Some { Frame.kind = (Response | Error | Busy) as k; id; _ } ->
+      Counter.incr m_protocol_errors;
+      send conn
+        (Frame.error ~id (Format.asprintf "unexpected %a frame from a client" Frame.pp_kind k));
+      loop ()
+  in
+  loop ();
+  enqueue conn Close
+
+(* {1 Accepting} *)
+
+let spawn_conn t cfd =
+  let conn =
+    {
+      conn_id = 1 + Atomic.fetch_and_add t.next_conn 1;
+      fd = cfd;
+      queue = Queue.create ();
+      q_mu = Mutex.create ();
+      q_cond = Condition.create ();
+      q_len = 0;
+      w_mu = Mutex.create ();
+      alive = true;
+    }
+  in
+  Counter.incr m_conns;
+  Mutex.protect t.conns_mu (fun () ->
+      if Atomic.get t.stopping then begin
+        (try Unix.close cfd with Unix.Unix_error _ -> ())
+      end
+      else begin
+        let wt = Thread.create (worker t conn) () in
+        let rt = Thread.create (reader t conn) () in
+        Hashtbl.replace t.conns conn.conn_id (conn, rt, wt);
+        Gauge.set g_open (Hashtbl.length t.conns)
+      end)
+
+(* Poll with a timeout instead of blocking in [accept]: closing an fd
+   does not wake a thread blocked in [accept] on Linux, so a blocking
+   loop could never be joined.  [stop] flips [stopping] and joins within
+   one poll interval. *)
+let accept_loop t fd () =
+  let rec loop () =
+    if Atomic.get t.stopping then ()
+    else
+      match Unix.select [ fd ] [] [] 0.2 with
+      | [], _, _ -> loop ()
+      | _ :: _, _, _ -> (
+        match Unix.accept ~cloexec:true fd with
+        | cfd, _ ->
+          spawn_conn t cfd;
+          loop ()
+        | exception
+            Unix.Unix_error
+              ((Unix.EINTR | Unix.ECONNABORTED | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          loop ()
+        | exception Unix.Unix_error (_, _, _) -> ()
+        | exception Sys_error _ -> ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | exception Unix.Unix_error (_, _, _) -> ()
+      | exception Sys_error _ -> ()
+  in
+  loop ()
+
+let add_listener t ep =
+  let fd, addr =
+    match ep with
+    | Unix_socket path ->
+      if Sys.file_exists path then Sys.remove path;
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let addr = Unix.ADDR_UNIX path in
+      Unix.bind fd addr;
+      (fd, addr)
+    | Tcp (host, port) ->
+      let inet = Unix.inet_addr_of_string host in
+      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (inet, port));
+      (fd, Unix.getsockname fd)
+  in
+  Unix.listen fd 64;
+  t.listeners <- (fd, ep) :: t.listeners;
+  t.accept_threads <- Thread.create (accept_loop t fd) () :: t.accept_threads;
+  addr
+
+(* {1 Shutdown} *)
+
+let request_shutdown t =
+  Mutex.protect t.sd_mu (fun () ->
+      t.sd_requested <- true;
+      Condition.broadcast t.sd_cond)
+
+let wait t =
+  Mutex.protect t.sd_mu (fun () ->
+      while not t.sd_requested do
+        Condition.wait t.sd_cond t.sd_mu
+      done)
+
+let stop t =
+  Atomic.set t.stopping true;
+  (* join before closing: accept threads exit within one poll interval,
+     and the fds are guaranteed unused (no close/reuse race) *)
+  List.iter Thread.join t.accept_threads;
+  t.accept_threads <- [];
+  List.iter
+    (fun (fd, _) -> try Unix.close fd with Unix.Unix_error _ -> ())
+    t.listeners;
+  (* wake every reader: reads return 0, readers push Close, workers drain
+     their queues (still answering what was admitted) and exit *)
+  let live = Mutex.protect t.conns_mu (fun () -> Hashtbl.fold (fun _ c acc -> c :: acc) t.conns []) in
+  List.iter
+    (fun (conn, _, _) ->
+      try Unix.shutdown conn.fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+    live;
+  List.iter
+    (fun (_, rt, wt) ->
+      Thread.join rt;
+      Thread.join wt)
+    live;
+  List.iter
+    (fun (_, ep) -> match ep with
+      | Unix_socket path -> (try Sys.remove path with Sys_error _ -> ())
+      | Tcp _ -> ())
+    t.listeners;
+  t.listeners <- [];
+  request_shutdown t
+
+let connections_seen t = Atomic.get t.next_conn
+
+let requests_served t = Atomic.get t.served

@@ -1,0 +1,77 @@
+(** The socket front-end: {!Frame}-framed request serving over
+    Unix-domain and TCP listeners, with bounded per-connection queues and
+    admission control.
+
+    Threading model: one accept thread per listener; per connection, a
+    {e reader} thread (decode, admission check, enqueue) and a {e worker}
+    thread (dequeue, evaluate, reply).  Threads — not domains — because
+    connection I/O is blocking; evaluation itself happens inside the
+    [eval] callback, which typically fans a batch out on the domain pool.
+    All [eval] calls are serialised on an internal mutex, upholding the
+    one-submission-at-a-time discipline of {!Hopi_util.Pool} no matter
+    how many connections are live.
+
+    Admission control: a request frame is rejected with a ['B'] (busy)
+    frame — never silently dropped — when its connection already has
+    [queue_depth] requests waiting, or the server as a whole has
+    [max_inflight] requests admitted but unanswered.  Malformed frames
+    answer ['E'] and (when the stream cannot be resynchronised) close the
+    connection; a mid-frame disconnect is a clean close.  Nothing a
+    client sends can take the server down, and connections never share
+    queues, so one misbehaving peer cannot poison another — the protocol
+    fuzz suite in [test/test_server.ml] drives exactly this.
+
+    Observability: [hopi_server_connections_total] / [_open],
+    [hopi_server_requests_total], [hopi_server_rejected_total],
+    [hopi_server_protocol_errors_total], [hopi_server_inflight], and the
+    [hopi_server_queue_wait_ns] histogram.  Per-request queue wait and
+    connection ids additionally flow into {!Hopi_obs.Reqtrace} samples
+    through the {!Batch.ctx} handed to [eval]. *)
+
+type endpoint =
+  | Unix_socket of string  (** path; unlinked on [bind] and on {!stop} *)
+  | Tcp of string * int  (** bind address and port; port 0 = ephemeral *)
+
+type handler = {
+  eval : ctx:Batch.ctx -> Batch.query array -> int * Batch.answer array;
+      (** Evaluate one request batch; returns the serving snapshot's
+          epoch and the answers in input order.  Called with the server's
+          eval mutex held (safe to submit to a shared {!Hopi_util.Pool});
+          an exception answers the whole request with an ['E'] frame. *)
+  control : string -> (string, string) result;
+      (** Serve one control command; [Ok] text answers as ['R'] (epoch
+          0), [Error] as ['E'].  Also serialised under the eval mutex. *)
+}
+
+type t
+
+val create :
+  ?max_inflight:int ->
+  ?queue_depth:int ->
+  ?max_frame_bytes:int ->
+  handler ->
+  t
+(** [max_inflight] (default 64) caps admitted-but-unanswered requests
+    across all connections; [queue_depth] (default 16) caps one
+    connection's wait queue; [max_frame_bytes] (default
+    {!Frame.default_max_bytes}) bounds a single frame. *)
+
+val add_listener : t -> endpoint -> Unix.sockaddr
+(** Bind, listen, and start accepting.  Returns the bound address — for
+    [Tcp (_, 0)] the kernel-chosen port.
+    @raise Unix.Unix_error when binding fails. *)
+
+val request_shutdown : t -> unit
+(** Make {!wait} return.  Idempotent; safe from any thread (the control
+    handler calls this on [quit]). *)
+
+val wait : t -> unit
+(** Block until {!request_shutdown}. *)
+
+val stop : t -> unit
+(** Close listeners, shut down every connection, join all threads.
+    In-queue requests admitted before [stop] are still answered. *)
+
+val connections_seen : t -> int
+
+val requests_served : t -> int

@@ -4,4 +4,5 @@ let () =
      @ Test_collection.suite @ Test_twohop.suite @ Test_storage.suite
      @ Test_crash.suite @ Test_partition.suite @ Test_core.suite @ Test_query.suite
      @ Test_flix.suite @ Test_props.suite @ Test_serve.suite
-     @ Test_coldpath.suite @ Test_live.suite)
+     @ Test_coldpath.suite @ Test_live.suite @ Test_server.suite
+     @ Test_shard.suite)

@@ -1,0 +1,255 @@
+(* K-shard scatter-gather routing tests: Hopi_serve.Router.
+
+   The load-bearing one is the qcheck differential: random collections
+   split at K ∈ 1..4 (plain and distance-aware) must answer every
+   reach/dist/desc/anc query byte-identically to the unsharded oracle —
+   the reflexive-transitive closure (and all-pairs BFS distances) of the
+   whole element graph, i.e. exactly what one Cover_store over the whole
+   collection serves.  Cross-shard pairs go through the replicated PSG
+   closure; the differential covers that path by construction (DBLP
+   citations cross documents, documents are spread over shards). *)
+
+module Router = Hopi_serve.Router
+module Batch = Hopi_serve.Batch
+module Collection = Hopi_collection.Collection
+module Closure = Hopi_graph.Closure
+module Shortest = Hopi_graph.Shortest
+module Dblp = Hopi_workload.Dblp_gen
+module Splitmix = Hopi_util.Splitmix
+module Ihs = Hopi_util.Int_hashset
+module Int_set = Hopi_util.Int_set
+module Gen = QCheck2.Gen
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "hopi_shard" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun name ->
+            try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+          (Sys.readdir dir);
+        try Sys.rmdir dir with Sys_error _ -> ()
+      end)
+    (fun () -> f dir)
+
+let elements c =
+  let acc = ref [] in
+  Collection.iter_elements c (fun e -> acc := e :: !acc);
+  Array.of_list (List.sort compare !acc)
+
+let sorted_of_ihs s = List.sort compare (Ihs.to_list s)
+
+(* {1 Deterministic shape checks} *)
+
+let test_split_layout () =
+  with_temp_dir @@ fun dir ->
+  let c = Dblp.generate (Dblp.default ~n_docs:9) in
+  let st = Router.split ~k:3 ~dir c in
+  checki "k shards" 3 st.Router.shards;
+  checki "every element assigned" (Collection.n_elements c) st.Router.elements;
+  checkb "routing index written" true (Sys.file_exists (Router.routing_path ~dir));
+  for s = 0 to 2 do
+    checkb
+      (Printf.sprintf "shard %d store written" s)
+      true
+      (Sys.file_exists (Router.shard_path ~dir s))
+  done;
+  let r = Router.open_dir dir in
+  Fun.protect ~finally:(fun () -> Router.close r) @@ fun () ->
+  checki "n_shards round-trips" 3 (Router.n_shards r);
+  checkb "plain split" false (Router.with_dist r);
+  checki "n_nodes round-trips" st.Router.elements (Router.n_nodes r);
+  checki "n_entries round-trips" st.Router.entries (Router.n_entries r);
+  let dom = elements c in
+  Array.iter
+    (fun e ->
+      match Router.shard_of r e with
+      | Some s -> checkb "shard id in range" true (s >= 0 && s < 3)
+      | None -> Alcotest.failf "element %d lost its shard" e)
+    dom;
+  check
+    Alcotest.(option int)
+    "unknown id has no shard" None
+    (Router.shard_of r (Array.fold_left max 0 dom + 17))
+
+let test_split_clamps_k () =
+  with_temp_dir @@ fun dir ->
+  let c = Dblp.generate (Dblp.default ~n_docs:2) in
+  let st = Router.split ~k:8 ~dir c in
+  checki "k clamped to the document count" 2 st.Router.shards;
+  let r = Router.open_dir dir in
+  Fun.protect ~finally:(fun () -> Router.close r) @@ fun () ->
+  checki "opened with the clamped count" 2 (Router.n_shards r)
+
+let test_unknown_ids_mirror_store () =
+  with_temp_dir @@ fun dir ->
+  let c = Dblp.generate (Dblp.default ~n_docs:4) in
+  ignore (Router.split ~k:2 ~dir c : Router.split_stats);
+  let r = Router.open_dir dir in
+  Fun.protect ~finally:(fun () -> Router.close r) @@ fun () ->
+  let dom = elements c in
+  let ghost = Array.fold_left max 0 dom + 23 in
+  checkb "ghost -> known unreachable" false (Router.connected r ghost dom.(0));
+  checkb "known -> ghost unreachable" false (Router.connected r dom.(0) ghost);
+  checkb "ghost not self-reachable" false (Router.connected r ghost ghost);
+  check Alcotest.(option int) "ghost distance" None (Router.min_distance r ghost dom.(0));
+  checkb "ghost descendants empty" true (Ihs.is_empty (Router.descendants r ghost));
+  checkb "ghost ancestors empty" true (Ihs.is_empty (Router.ancestors r ghost))
+
+(* The Batch engine over the router renders exactly like direct calls. *)
+let test_engine_rendering () =
+  with_temp_dir @@ fun dir ->
+  let c = Dblp.generate (Dblp.default ~n_docs:6) in
+  ignore (Router.split ~dist:true ~k:3 ~dir c : Router.split_stats);
+  let r = Router.open_dir dir in
+  Fun.protect ~finally:(fun () -> Router.close r) @@ fun () ->
+  let eng = Router.engine r in
+  let dom = elements c in
+  Array.iter
+    (fun u ->
+      let v = dom.(0) in
+      check Alcotest.string "reach renders"
+        (string_of_bool (Router.connected r u v))
+        (Batch.render (Batch.eval_engine eng (Batch.Reach (u, v))));
+      check Alcotest.string "dist renders"
+        (match Router.min_distance r u v with
+        | Some d -> string_of_int d
+        | None -> "unreachable")
+        (Batch.render (Batch.eval_engine eng (Batch.Dist (u, v))));
+      check Alcotest.string "desc renders"
+        (string_of_int (Ihs.cardinal (Router.descendants r u)))
+        (Batch.render (Batch.eval_engine eng (Batch.Desc u)));
+      check Alcotest.string "path needs an evaluator"
+        "error: path queries need a corpus (serve --corpus DIR)"
+        (Batch.render (Batch.eval_engine eng (Batch.Path "//a"))))
+    (Array.sub dom 0 (min 8 (Array.length dom)))
+
+(* {1 The differential}
+
+   Oracle: closure + all-pairs BFS of the whole element graph.  A plain
+   unsharded Cover_store answers [connected] by closure membership and
+   [min_distance] as [Some 0] for reachable pairs; a distance-aware one
+   answers true shortest distances.  The router must match for any K. *)
+
+let gen_case =
+  let open Gen in
+  int_range 4 14 >>= fun n_docs ->
+  int_range 0 1_000_000 >>= fun seed ->
+  float_range 1.0 6.0 >>= fun avg_citations ->
+  float_range 0.0 0.3 >>= fun forward_fraction ->
+  int_range 1 4 >>= fun k ->
+  bool >|= fun dist ->
+  ({ (Dblp.default ~n_docs) with seed; avg_citations; forward_fraction }, k, dist)
+
+let prop_differential =
+  QCheck2.Test.make ~name:"K-shard routing = unsharded oracle" ~count:8 gen_case
+    (fun (cfg, k, dist) ->
+      with_temp_dir @@ fun dir ->
+      let c = Dblp.generate cfg in
+      ignore (Router.split ~dist ~k ~dir c : Router.split_stats);
+      let r = Router.open_dir ~cache_mb:4 dir in
+      Fun.protect ~finally:(fun () -> Router.close r) @@ fun () ->
+      let g = Collection.element_graph c in
+      let clo = Closure.compute g in
+      let sp = if dist then Some (Shortest.all_pairs g) else None in
+      let dom = elements c in
+      let n = Array.length dom in
+      let ghost = Array.fold_left max 0 dom + 31 in
+      let check_pair u v =
+        let want_reach = u <> ghost && v <> ghost && Closure.mem clo u v in
+        if Router.connected r u v <> want_reach then
+          QCheck2.Test.fail_reportf "k=%d dist=%b: reach %d -> %d should be %b"
+            k dist u v want_reach;
+        let want_dist =
+          if not want_reach then None
+          else
+            match sp with None -> Some 0 | Some sp -> Shortest.dist sp u v
+        in
+        let got_dist = Router.min_distance r u v in
+        if got_dist <> want_dist then
+          QCheck2.Test.fail_reportf
+            "k=%d dist=%b: dist %d -> %d is %s, oracle says %s" k dist u v
+            (match got_dist with Some d -> string_of_int d | None -> "unreachable")
+            (match want_dist with Some d -> string_of_int d | None -> "unreachable")
+      in
+      (* all pairs on small domains, a seeded sample on large ones *)
+      if n <= 70 then
+        Array.iter (fun u -> Array.iter (fun v -> check_pair u v) dom) dom
+      else begin
+        let rng = Splitmix.create (cfg.Dblp.seed + (k * 131)) in
+        for _ = 1 to 4000 do
+          check_pair dom.(Splitmix.int rng n) dom.(Splitmix.int rng n)
+        done
+      end;
+      Array.iter (fun u -> check_pair u ghost) (Array.sub dom 0 (min 5 n));
+      check_pair ghost dom.(0);
+      check_pair ghost ghost;
+      (* full descendant/ancestor sets, element by element *)
+      Array.iter
+        (fun u ->
+          let want_desc = Int_set.to_list (Closure.succs clo u) in
+          let got_desc = sorted_of_ihs (Router.descendants r u) in
+          if got_desc <> want_desc then
+            QCheck2.Test.fail_reportf
+              "k=%d dist=%b: desc %d has %d members, oracle %d" k dist u
+              (List.length got_desc) (List.length want_desc);
+          let want_anc = Int_set.to_list (Closure.preds clo u) in
+          let got_anc = sorted_of_ihs (Router.ancestors r u) in
+          if got_anc <> want_anc then
+            QCheck2.Test.fail_reportf
+              "k=%d dist=%b: anc %d has %d members, oracle %d" k dist u
+              (List.length got_anc) (List.length want_anc))
+        dom;
+      true)
+
+(* Reopening the directory serves identical answers: the routing index
+   and shard stores round-trip through disk, nothing lives only in the
+   splitting process's memory. *)
+let prop_reopen_stable =
+  QCheck2.Test.make ~name:"shard dir round-trips through disk" ~count:4
+    Gen.(pair (int_range 0 1_000_000) (int_range 1 3))
+    (fun (seed, k) ->
+      with_temp_dir @@ fun dir ->
+      let c = Dblp.generate { (Dblp.default ~n_docs:6) with seed } in
+      ignore (Router.split ~dist:true ~k ~dir c : Router.split_stats);
+      let dom = elements c in
+      let sample r =
+        Array.map
+          (fun u ->
+            ( Router.min_distance r u dom.(0),
+              Ihs.cardinal (Router.descendants r u) ))
+          dom
+      in
+      let r1 = Router.open_dir dir in
+      let s1 = sample r1 in
+      Router.close r1;
+      let r2 = Router.open_dir dir in
+      let s2 = sample r2 in
+      Router.close r2;
+      if s1 <> s2 then QCheck2.Test.fail_report "answers changed across reopen";
+      true)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suite =
+  [
+    ( "serve.router",
+      [
+        Alcotest.test_case "split writes the layout; open round-trips" `Quick
+          test_split_layout;
+        Alcotest.test_case "k clamps to the document count" `Quick
+          test_split_clamps_k;
+        Alcotest.test_case "unknown ids answer like a store" `Quick
+          test_unknown_ids_mirror_store;
+        Alcotest.test_case "batch engine over the router" `Quick
+          test_engine_rendering;
+      ]
+      @ qsuite [ prop_differential; prop_reopen_stable ] );
+  ]
