@@ -71,6 +71,28 @@ let g_join_speedup_pct =
   Registry.gauge "hopi_build_join_speedup_pct"
     ~help:"Join-phase parallel speedup of the last build, percent"
 
+(* build-resource gauges: set from [Gc]/[Spill] statistics, independent of
+   any benchmark harness, so `hopi build --metrics` and the bench gate can
+   both watch them *)
+
+let g_peak_heap_bytes =
+  Registry.gauge "hopi_build_peak_heap_bytes"
+    ~help:"Peak major-heap size observed at the end of the last build \
+           (Gc top_heap_words, bytes)"
+
+let g_spilled_runs =
+  Registry.gauge "hopi_build_spilled_runs"
+    ~help:"Sorted runs the last build's join pipeline spilled to temp files"
+
+let g_spilled_bytes =
+  Registry.gauge "hopi_build_spilled_bytes"
+    ~help:"Bytes the last build's join pipeline spilled to temp files"
+
+let g_peak_sort_bytes =
+  Registry.gauge "hopi_build_peak_sort_bytes"
+    ~help:"High-water mark of the last build's resident external-sort \
+           memory (bounded by --build-mem-mb)"
+
 type result = {
   cover : Cover.t;
   partitioning : Partitioning.t;
@@ -85,6 +107,8 @@ type result = {
   jobs : int;
   cover_cpu_seconds : float;
   join_cpu_seconds : float;
+  spilled_runs : int;
+  spilled_bytes : int;
 }
 
 let make_partitioning (config : Config.t) c =
@@ -185,29 +209,44 @@ let run_build pool (config : Config.t) c =
   Trace.add "closure_connections" !closure_connections;
   let final = Cover.create ~initial:(Collection.n_elements c) () in
   Array.iter (fun cov -> Cover.union_into ~dst:final cov) partition_covers;
-  let (join_entries, join_cpu_seconds), join_seconds =
+  let spill =
+    match config.Config.build_mem_mb with
+    | None -> None
+    | Some mb ->
+      Some
+        (Hopi_storage.Spill.settings ?dir:config.Config.spill_dir
+           ~budget_bytes:(mb * 1024 * 1024) ())
+  in
+  let psg_join ?strategy () =
+    let s =
+      Join_psg.join ?strategy ~pool ?spill c partitioning
+        ~partition_cover:(fun p -> partition_covers.(p))
+        ~final
+    in
+    ( s.Join_psg.entries_added,
+      s.Join_psg.cpu_seconds,
+      (s.Join_psg.spilled_runs, s.Join_psg.spilled_bytes, s.Join_psg.peak_sort_bytes)
+    )
+  in
+  let (join_entries, join_cpu_seconds, (spilled_runs, spilled_bytes, peak_sort)),
+      join_seconds =
     Trace.with_span "build.join" (fun () ->
         Timer.time (fun () ->
-        match config.Config.joiner with
-        | Config.Incremental ->
-          let s = Join_incremental.join final partitioning.Partitioning.cross_links in
-          (s.Join_incremental.entries_added, 0.0)
-        | Config.Psg ->
-          let s =
-            Join_psg.join ~pool c partitioning
-              ~partition_cover:(fun p -> partition_covers.(p))
-              ~final
-          in
-          (s.Join_psg.entries_added, s.Join_psg.cpu_seconds)
-        | Config.Psg_partitioned budget ->
-          let s =
-            Join_psg.join ~strategy:(Join_psg.Partitioned budget) ~pool c
-              partitioning
-              ~partition_cover:(fun p -> partition_covers.(p))
-              ~final
-          in
-          (s.Join_psg.entries_added, s.Join_psg.cpu_seconds)))
+            match config.Config.joiner with
+            | Config.Incremental ->
+              let s =
+                Join_incremental.join final partitioning.Partitioning.cross_links
+              in
+              (s.Join_incremental.entries_added, 0.0, (0, 0, 0))
+            | Config.Psg -> psg_join ()
+            | Config.Psg_partitioned budget ->
+              psg_join ~strategy:(Join_psg.Partitioned budget) ()))
   in
+  Gauge.set g_spilled_runs spilled_runs;
+  Gauge.set g_spilled_bytes spilled_bytes;
+  Gauge.set g_peak_sort_bytes peak_sort;
+  Trace.add "spilled_runs" spilled_runs;
+  Trace.add "spilled_bytes" spilled_bytes;
   Histogram.observe h_join_ns (Timer.ns_of_s join_seconds);
   (* the incremental joiner is sequential and reports no CPU time: its CPU
      time is its wall time *)
@@ -221,6 +260,8 @@ let run_build pool (config : Config.t) c =
   Trace.add "join_entries" join_entries;
   Trace.add "cover_entries" (Cover.size final);
   Histogram.observe h_build_ns (Int64.to_int (Timer.elapsed_ns t0));
+  Gauge.set g_peak_heap_bytes
+    ((Gc.quick_stat ()).Gc.top_heap_words * (Sys.word_size / 8));
   Log.info (fun m ->
       m "join added %d entries in %.2fs; total %d entries in %.2fs" join_entries
         join_seconds (Cover.size final) (Timer.elapsed_s t0));
@@ -238,6 +279,8 @@ let run_build pool (config : Config.t) c =
     jobs;
     cover_cpu_seconds;
     join_cpu_seconds;
+    spilled_runs;
+    spilled_bytes;
   }
 
 (* One pool spans the whole build: the cover phase maps partitions over it

@@ -19,6 +19,10 @@ type result = {
       (** cover-phase CPU time summed across pool domains;
           [cover_cpu_seconds /. cover_seconds] is the cover speedup *)
   join_cpu_seconds : float;  (** likewise for the join phase *)
+  spilled_runs : int;
+      (** sorted runs the join's external-sort pipeline spilled to temp
+          files (0 unless [config.build_mem_mb] forced spilling) *)
+  spilled_bytes : int;
 }
 
 val build : Config.t -> Hopi_collection.Collection.t -> result

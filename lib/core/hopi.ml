@@ -139,7 +139,7 @@ let size t = Cover.size t.cover
 
 let to_store t pager =
   let store = Hopi_storage.Cover_store.create pager in
-  Hopi_storage.Cover_store.load_cover store t.cover;
+  Hopi_storage.Cover_store.bulk_load_cover store t.cover;
   store
 
 let distance_index t =

@@ -9,6 +9,7 @@ module Partitioning = Hopi_collection.Partitioning
 module Psg = Hopi_collection.Psg
 module Pool = Hopi_util.Pool
 module Timer = Hopi_util.Timer
+module Spill = Hopi_storage.Spill
 
 let log = Logs.Src.create "hopi.join.psg" ~doc:"PSG-based cross-partition join"
 
@@ -55,6 +56,9 @@ type stats = {
   psg_edges : int;
   psg_partitions : int;
   entries_added : int;
+  spilled_runs : int;
+  spilled_bytes : int;
+  peak_sort_bytes : int;
   cpu_seconds : float;
 }
 
@@ -257,7 +261,34 @@ let hbar_partitioned ?pool ~pc (psg : Psg.t) ~max_connections =
   done;
   (hbar, !n_chunks)
 
-let join ?(strategy = Bfs) ?pool c (p : Partitioning.t) ~partition_cover ~final =
+(* {1 The apply pipeline}
+
+   Applying H̄/Ĥ to [final] is external-memory sort-then-bulk-load: pool
+   tasks emit join entries as packed (node, center) ints into per-task
+   sorted runs, spilling runs to VFS temp files when they exceed the
+   sorter's memory budget (stage [join.psg.sort]); the runs are k-way
+   merged into one globally sorted, deduplicated stream per direction
+   (stage [join.psg.merge]); and the streams are applied to the cover in
+   grouped passes (stage [join.psg.bulk]).  The merged stream is the
+   canonical sorted entry set — independent of job count, budget, or
+   where run boundaries fell — which is what keeps stores byte-identical
+   for every [--jobs]/[--build-mem-mb] combination. *)
+
+(* drain a merged sorter into one sorted array *)
+let collect_merged sorter =
+  let buf = ref (Array.make 1024 0) and n = ref 0 in
+  Spill.merged sorter (fun v ->
+      if !n = Array.length !buf then begin
+        let nb = Array.make (2 * !n) 0 in
+        Array.blit !buf 0 nb 0 !n;
+        buf := nb
+      end;
+      !buf.(!n) <- v;
+      incr n);
+  if !n = Array.length !buf then !buf else Array.sub !buf 0 !n
+
+let join ?(strategy = Bfs) ?pool ?spill c (p : Partitioning.t) ~partition_cover
+    ~final =
   Counter.incr m_joins;
   let t_all = Timer.start () in
   let pc = { items = Timer.Acc.create (); wall = Timer.Acc.create () } in
@@ -282,45 +313,83 @@ let join ?(strategy = Bfs) ?pool c (p : Partitioning.t) ~partition_cover ~final 
   in
   Histogram.observe h_psg_chunks psg_partitions;
   Hashtbl.iter (fun _ targets -> Histogram.observe h_hbar_targets (Ihs.cardinal targets)) hbar;
-  Trace.with_span "join.psg.apply" (fun () ->
-      (* Ĥ: copy H̄out(s) to every ancestor of s in s's element partition — the
-         ancestors include s itself, which realises H̄ proper.  Expanding the
-         ancestor/descendant sets only reads the (frozen) partition covers,
-         so it fans out over the pool; [final] is then written sequentially
-         in sorted order. *)
-      let sources =
-        Array.of_list
-          (List.sort compare
-             (Hashtbl.fold (fun s _ acc -> s :: acc) hbar []))
-      in
-      let source_entries =
-        pmap pool pc (Array.length sources)
-          (task pc (fun i ->
-               let s = sources.(i) in
-               let targets = sorted_array (Hashtbl.find hbar s) in
-               (sorted_array (Cover.ancestors (cover_of_element s) s), targets)))
-      in
-      Array.iter
-        (fun (ancestors, targets) ->
-          Array.iter
-            (fun a ->
-              Array.iter (fun t -> Cover.add_out final ~node:a ~center:t) targets)
-            ancestors)
-        source_entries;
-      (* Ĥ on the in-side: every partition-level descendant of a link target t
-         gets t in its Lin (H̄in(t) = {t} is implicit on t itself) *)
-      let targets = sorted_array psg.Psg.targets in
-      let target_entries =
-        pmap pool pc (Array.length targets)
-          (task pc (fun i ->
-               let t = targets.(i) in
-               sorted_array (Cover.descendants (cover_of_element t) t)))
-      in
-      Array.iteri
-        (fun i descendants ->
-          let t = targets.(i) in
-          Array.iter (fun d -> Cover.add_in final ~node:d ~center:t) descendants)
-        target_entries);
+  let spill_stats =
+    Trace.with_span "join.psg.apply" (fun () ->
+        let sp = match spill with Some s -> s | None -> Spill.settings () in
+        let out_sorter = Spill.sorter sp ~tag:"lout" in
+        let in_sorter = Spill.sorter sp ~tag:"lin" in
+        Fun.protect
+          ~finally:(fun () ->
+            Spill.close out_sorter;
+            Spill.close in_sorter)
+        @@ fun () ->
+        (* stage 1 — emit.  Ĥ out-side: H̄out(s) is copied to every ancestor
+           of s in s's element partition (the ancestors include s itself,
+           which realises H̄ proper).  Ĥ in-side: every partition-level
+           descendant of a link target t gets t in its Lin (H̄in(t) = {t} is
+           implicit on t itself).  Expanding the ancestor/descendant sets
+           only reads the (frozen) partition covers, so each source/target
+           fans out as a pool task building its own sorted run. *)
+        (* items are sliced into a few contiguous chunks per pool domain;
+           each chunk task owns ONE run for all its items, so run count —
+           and with it allocation, sorter-mutex traffic, and merge fan-in —
+           scales with the pool, not with the item count.  Chunk boundaries
+           move with [jobs], but the merge canonicalises the stream, so the
+           cover does not. *)
+        let chunked sorter items emit =
+          let n = Array.length items in
+          let jobs = match pool with Some p -> Pool.jobs p | None -> 1 in
+          let n_chunks = max 1 (min n (8 * jobs)) in
+          let per = (n + n_chunks - 1) / n_chunks in
+          ignore
+            (pmap pool pc n_chunks
+               (task pc (fun ci ->
+                    let lo = ci * per and hi = min n ((ci + 1) * per) in
+                    if lo < hi then begin
+                      let run = Spill.run sorter in
+                      for i = lo to hi - 1 do
+                        emit run items.(i)
+                      done;
+                      Spill.finish run
+                    end)))
+        in
+        Trace.with_span "join.psg.sort" (fun () ->
+            let sources =
+              Array.of_list
+                (List.sort compare (Hashtbl.fold (fun s _ acc -> s :: acc) hbar []))
+            in
+            chunked out_sorter sources (fun run s ->
+                let targets = sorted_array (Hashtbl.find hbar s) in
+                Ihs.iter
+                  (fun a ->
+                    Array.iter
+                      (fun t ->
+                        if a <> t then
+                          Spill.add run (Cover.pack_entry ~node:a ~center:t))
+                      targets)
+                  (Cover.ancestors (cover_of_element s) s));
+            chunked in_sorter (sorted_array psg.Psg.targets) (fun run t ->
+                Ihs.iter
+                  (fun d ->
+                    if d <> t then
+                      Spill.add run (Cover.pack_entry ~node:d ~center:t))
+                  (Cover.descendants (cover_of_element t) t)));
+        (* stage 2 — k-way merge each direction's runs into one globally
+           sorted, deduplicated entry stream *)
+        let out_entries = ref [||] and in_entries = ref [||] in
+        Trace.with_span "join.psg.merge" (fun () ->
+            out_entries := collect_merged out_sorter;
+            in_entries := collect_merged in_sorter);
+        (* stage 3 — grouped bulk application to the final cover *)
+        Trace.with_span "join.psg.bulk" (fun () ->
+            ignore (Cover.add_out_packed final !out_entries);
+            ignore (Cover.add_in_packed final !in_entries));
+        let so = Spill.stats out_sorter and si = Spill.stats in_sorter in
+        ( so.Spill.spilled_runs + si.Spill.spilled_runs,
+          so.Spill.spilled_bytes + si.Spill.spilled_bytes,
+          so.Spill.peak_resident_bytes + si.Spill.peak_resident_bytes ))
+  in
+  let spilled_runs, spilled_bytes, peak_sort_bytes = spill_stats in
   let entries_added = Cover.size final - before in
   Counter.add m_entries entries_added;
   Log.info (fun m ->
@@ -332,6 +401,9 @@ let join ?(strategy = Bfs) ?pool c (p : Partitioning.t) ~partition_cover ~final 
     psg_edges = Digraph.n_edges psg.Psg.graph;
     psg_partitions;
     entries_added;
+    spilled_runs;
+    spilled_bytes;
+    peak_sort_bytes;
     cpu_seconds =
       Timer.elapsed_s t_all -. Timer.Acc.total_s pc.wall
       +. Timer.Acc.total_s pc.items;

@@ -93,8 +93,8 @@ let with_lock mu f =
 
 let persist_store ~with_dist idx pager =
   let st = S.Cover_store.create pager in
-  if with_dist then S.Cover_store.load_dist_cover st (Hopi.distance_index idx)
-  else S.Cover_store.load_cover st (Hopi.cover idx);
+  if with_dist then S.Cover_store.bulk_load_dist_cover st (Hopi.distance_index idx)
+  else S.Cover_store.bulk_load_cover st (Hopi.cover idx);
   S.Cover_store.save st
 
 (* {1 Dirty tracking}

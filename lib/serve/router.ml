@@ -127,13 +127,13 @@ let split ?(dist = false) ?(fsync = true) ~k ~dir c =
             let dc, _ = Dist_builder.build sub in
             ( Dist_cover.connected dc,
               Dist_cover.dist dc,
-              fun store -> S.Cover_store.load_dist_cover store dc )
+              fun store -> S.Cover_store.bulk_load_dist_cover store dc )
           end
           else begin
             let cover, _ = Builder.build (Closure.compute sub) in
             ( Cover.connected cover,
               (fun u v -> if Cover.connected cover u v then Some 0 else None),
-              fun store -> S.Cover_store.load_cover store cover )
+              fun store -> S.Cover_store.bulk_load_cover store cover )
           end
         in
         let pager =

@@ -396,6 +396,128 @@ let delete t k =
 
 let length t = t.length
 
+(* {1 Bulk loading}
+
+   Bottom-up construction from a strictly ascending key stream: leaves are
+   filled left-to-right to capacity and chained, then internal levels are
+   stitched over the first keys of their children (the same separator
+   convention leaf splits use), up to a single root.  No per-key descent,
+   no splits, every page written exactly once. *)
+
+let m_bulk_pages =
+  Hopi_obs.Registry.counter "hopi_storage_btree_bulk_pages_total"
+    ~help:"Pages written by bottom-up B+-tree bulk loads"
+
+let m_bulk_loads =
+  Hopi_obs.Registry.counter "hopi_storage_btree_bulk_loads_total"
+    ~help:"Bottom-up B+-tree bulk loads"
+
+let bulk_load pager ~next =
+  let pages = ref 0 in
+  let alloc () =
+    incr pages;
+    Pager.alloc pager
+  in
+  let pending = ref (next ()) in
+  let length = ref 0 in
+  let last = ref None in
+  (* consume the head of the stream, validating range and order *)
+  let take () =
+    match !pending with
+    | None -> None
+    | Some ((a, b, c) as k) ->
+      let check v =
+        if v < min_i32 || v > max_i32 then
+          invalid_arg
+            (Printf.sprintf "Btree.bulk_load: component %d out of 32-bit range" v)
+      in
+      check a;
+      check b;
+      check c;
+      (match !last with
+      | Some p when key_compare p k >= 0 ->
+        invalid_arg "Btree.bulk_load: stream not strictly ascending"
+      | _ -> ());
+      last := Some k;
+      pending := next ();
+      incr length;
+      Some k
+  in
+  (* leaf level: (first key, page id) per leaf, in key order *)
+  let leaves = Hopi_util.Dyn_array.create () in
+  let first_pid = alloc () in
+  let rec fill pid =
+    let page = Pager.pin pager pid in
+    Page.set_u8 page po 0;
+    let n = ref 0 in
+    let continue_ = ref true in
+    while !continue_ && !n < leaf_capacity do
+      match take () with
+      | None -> continue_ := false
+      | Some k ->
+        if !n = 0 then Hopi_util.Dyn_array.push leaves (k, pid);
+        set_leaf_key page !n k;
+        incr n
+    done;
+    set_nkeys page !n;
+    if !pending = None then begin
+      set_next_leaf page (-1);
+      Pager.mark_dirty pager pid;
+      Pager.unpin pager pid
+    end
+    else begin
+      let rid = alloc () in
+      set_next_leaf page rid;
+      Pager.mark_dirty pager pid;
+      Pager.unpin pager pid;
+      fill rid
+    end
+  in
+  fill first_pid;
+  (* internal levels: group up to [int_capacity + 1] children per node,
+     sizes balanced so no node is left with a single child *)
+  let build_level children =
+    let n = Array.length children in
+    let max_fanout = int_capacity + 1 in
+    let k = (n + max_fanout - 1) / max_fanout in
+    let base = n / k and extra = n mod k in
+    let out = Array.make k children.(0) in
+    let idx = ref 0 in
+    for g = 0 to k - 1 do
+      let sz = base + if g < extra then 1 else 0 in
+      let pid = alloc () in
+      let page = Pager.pin pager pid in
+      Page.set_u8 page po 1;
+      set_nkeys page (sz - 1);
+      let fk, cpid = children.(!idx) in
+      set_int_child page 0 cpid;
+      for j = 1 to sz - 1 do
+        let sk, spid = children.(!idx + j) in
+        set_int_key page (j - 1) sk;
+        set_int_child page j spid
+      done;
+      Pager.mark_dirty pager pid;
+      Pager.unpin pager pid;
+      out.(g) <- (fk, pid);
+      idx := !idx + sz
+    done;
+    out
+  in
+  let rec up children =
+    if Array.length children = 1 then snd children.(0) else up (build_level children)
+  in
+  let root =
+    if Hopi_util.Dyn_array.length leaves <= 1 then first_pid
+    else
+      up
+        (Array.init
+           (Hopi_util.Dyn_array.length leaves)
+           (Hopi_util.Dyn_array.get leaves))
+  in
+  Hopi_obs.Counter.add m_bulk_pages !pages;
+  Hopi_obs.Counter.incr m_bulk_loads;
+  { pager; root; length = !length }
+
 (* {1 Scans} *)
 
 let iter_from t lo f =

@@ -27,6 +27,16 @@ val of_root : Pager.t -> root:int -> length:int -> t
 val insert : t -> key -> bool
 (** [true] when the key was new. *)
 
+val bulk_load : Pager.t -> next:(unit -> key option) -> t
+(** Build a tree bottom-up from a strictly ascending key stream: leaves
+    are written left-to-right to capacity and chained, internal nodes are
+    stitched over them — no per-key descent, every page written once.
+    [next] is polled until it returns [None]; an empty stream yields an
+    empty tree.  The result supports the full API, including later
+    {!insert}/{!delete}.
+    @raise Invalid_argument on an out-of-range component or a stream that
+    is not strictly ascending. *)
+
 val delete : t -> key -> bool
 (** [true] when the key was present. *)
 

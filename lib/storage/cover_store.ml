@@ -4,9 +4,9 @@ module Dist_cover = Hopi_twohop.Dist_cover
 
 type t = {
   pgr : Pager.t;
-  lin : Table.t;
-  lout : Table.t;
-  nodes : Btree.t;  (* registry: (id, 0, 0) *)
+  mutable lin : Table.t;
+  mutable lout : Table.t;
+  mutable nodes : Btree.t;  (* registry: (id, 0, 0) *)
   mutable with_dist : bool;
 }
 
@@ -90,6 +90,150 @@ let load_dist_cover t cover =
       add_node t v;
       Dist_cover.iter_lin cover v (fun w d -> insert_in t ~node:v ~center:w ~dist:d);
       Dist_cover.iter_lout cover v (fun w d -> insert_out t ~node:v ~center:w ~dist:d))
+
+(* {1 Bulk loading}
+
+   Sort all rows of a table up front, then hand the sorted streams to
+   {!Btree.bulk_load} — every page is written once, in key order, instead
+   of the per-entry root-to-leaf descents (and the eviction storm) of
+   {!load_cover}.  Plain covers pack each (node, center) row into one
+   OCaml int so the sorts are cheap monomorphic int sorts; the same array
+   is repacked in place for the backward index.  Trees are built in the
+   catalog's slot order so the page layout is deterministic. *)
+
+let int_cmp (x : int) y = compare x y
+
+let pack_bits = 31  (* components are i32-bounded; covers hold ids >= 0 *)
+
+let pack_mask = (1 lsl pack_bits) - 1
+
+let pack a b =
+  if a < 0 || a > pack_mask || b < 0 || b > pack_mask then
+    invalid_arg (Printf.sprintf "Cover_store: id out of range (%d, %d)" a b);
+  (a lsl pack_bits) lor b
+
+let require_fresh t =
+  let lin_fwd, lin_bwd = Table.trees t.lin in
+  let lout_fwd, lout_bwd = Table.trees t.lout in
+  let roots = [ lin_fwd; lin_bwd; lout_fwd; lout_bwd; t.nodes ] in
+  if List.exists (fun tr -> Btree.length tr > 0) roots then
+    invalid_arg "Cover_store: bulk load requires a freshly created store";
+  (* recycle the empty roots [create] allocated: the bulk loader writes
+     whole new trees and the pager reuses these pages first *)
+  List.iter (fun tr -> Pager.free t.pgr (Btree.root tr)) roots
+
+let tree_of_packed pgr a =
+  let i = ref 0 in
+  Btree.bulk_load pgr ~next:(fun () ->
+      if !i >= Array.length a then None
+      else begin
+        let x = a.(!i) in
+        incr i;
+        Some (x lsr pack_bits, x land pack_mask, 0)
+      end)
+
+(* swap the two packed halves in place (fwd rows -> bwd rows) *)
+let swap_repack a =
+  Array.iteri (fun j x -> a.(j) <- ((x land pack_mask) lsl pack_bits) lor (x lsr pack_bits)) a
+
+let packed_rows cover nodes ~cardinal ~iter =
+  let total = Array.fold_left (fun acc v -> acc + cardinal cover v) 0 nodes in
+  let a = Array.make total 0 in
+  let i = ref 0 in
+  Array.iter
+    (fun v ->
+      iter cover v (fun w ->
+          a.(!i) <- pack v w;
+          incr i))
+    nodes;
+  Array.sort int_cmp a;
+  a
+
+let sorted_nodes n iter =
+  let a = Array.make n 0 in
+  let i = ref 0 in
+  iter (fun v ->
+      a.(!i) <- v;
+      incr i);
+  Array.sort int_cmp a;
+  a
+
+let tree_of_nodes pgr nodes =
+  let i = ref 0 in
+  Btree.bulk_load pgr ~next:(fun () ->
+      if !i >= Array.length nodes then None
+      else begin
+        let v = nodes.(!i) in
+        incr i;
+        Some (v, 0, 0)
+      end)
+
+let bulk_table pgr rows =
+  let fwd = tree_of_packed pgr rows in
+  swap_repack rows;
+  Array.sort int_cmp rows;
+  let bwd = tree_of_packed pgr rows in
+  Table.of_trees ~fwd ~bwd
+
+let bulk_load_cover t cover =
+  require_fresh t;
+  let nodes = sorted_nodes (Cover.n_nodes cover) (Cover.iter_nodes cover) in
+  let lin =
+    packed_rows cover nodes ~cardinal:Cover.lin_cardinal ~iter:Cover.iter_lin
+  in
+  t.lin <- bulk_table t.pgr lin;
+  let lout =
+    packed_rows cover nodes ~cardinal:Cover.lout_cardinal ~iter:Cover.iter_lout
+  in
+  t.lout <- bulk_table t.pgr lout;
+  t.nodes <- tree_of_nodes t.pgr nodes
+
+let bulk_load_dist_cover t cover =
+  require_fresh t;
+  let nodes = sorted_nodes (Dist_cover.n_nodes cover) (Dist_cover.iter_nodes cover) in
+  let key_cmp (a1, b1, c1) (a2, b2, c2) =
+    let c = int_cmp a1 a2 in
+    if c <> 0 then c
+    else
+      let c = int_cmp b1 b2 in
+      if c <> 0 then c else int_cmp c1 c2
+  in
+  let rows_of iter =
+    let buf = Hopi_util.Dyn_array.create () in
+    Array.iter
+      (fun v -> iter cover v (fun w d -> Hopi_util.Dyn_array.push buf (v, w, d)))
+      nodes;
+    let a =
+      Array.init (Hopi_util.Dyn_array.length buf) (Hopi_util.Dyn_array.get buf)
+    in
+    Array.sort key_cmp a;
+    a
+  in
+  let tree_of rows =
+    let i = ref 0 in
+    Btree.bulk_load t.pgr ~next:(fun () ->
+        if !i >= Array.length rows then None
+        else begin
+          let k = rows.(!i) in
+          incr i;
+          Some k
+        end)
+  in
+  let table_of rows =
+    let fwd = tree_of rows in
+    let bwd_rows = Array.map (fun (v, w, d) -> (w, v, d)) rows in
+    Array.sort key_cmp bwd_rows;
+    let bwd = tree_of bwd_rows in
+    Table.of_trees ~fwd ~bwd
+  in
+  let any_dist rows = Array.exists (fun (_, _, d) -> d > 0) rows in
+  let lin = rows_of Dist_cover.iter_lin in
+  t.lin <- table_of lin;
+  if any_dist lin then t.with_dist <- true;
+  let lout = rows_of Dist_cover.iter_lout in
+  t.lout <- table_of lout;
+  if any_dist lout then t.with_dist <- true;
+  t.nodes <- tree_of_nodes t.pgr nodes
 
 let remove_node t v =
   ignore (Table.delete_all_of_id t.lin v);

@@ -34,9 +34,22 @@ val open_pager : Pager.t -> t
 (** {1 Loading} *)
 
 val load_cover : t -> Hopi_twohop.Cover.t -> unit
-(** Store a plain cover (all distances 0). *)
+(** Store a plain cover (all distances 0), one row-level insert at a
+    time.  Prefer {!bulk_load_cover} on a fresh store. *)
 
 val load_dist_cover : t -> Hopi_twohop.Dist_cover.t -> unit
+
+val bulk_load_cover : t -> Hopi_twohop.Cover.t -> unit
+(** Store a plain cover by sorting all LIN/LOUT rows up front and handing
+    the sorted streams to {!Btree.bulk_load}: every page is written once,
+    in key order, with no per-entry descents.  The resulting store answers
+    queries identically to {!load_cover} (see the [bulk store matches
+    row-at-a-time store] differential in [test/test_storage.ml]), and its
+    page layout is deterministic for a given cover.
+    @raise Invalid_argument unless the store was freshly {!create}d. *)
+
+val bulk_load_dist_cover : t -> Hopi_twohop.Dist_cover.t -> unit
+(** {!bulk_load_cover} for distance-aware covers. *)
 
 (** {1 Row-level maintenance} *)
 

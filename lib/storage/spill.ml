@@ -1,0 +1,456 @@
+module Registry = Hopi_obs.Registry
+module Histogram = Hopi_obs.Histogram
+
+(* {1 Metrics} *)
+
+let m_runs =
+  Registry.counter "hopi_spill_runs_total"
+    ~help:"Sorted runs spilled to temp files by external sorters"
+
+let m_bytes =
+  Registry.counter "hopi_spill_bytes_total"
+    ~help:"Bytes written to spill temp files"
+
+let h_fanin =
+  Registry.histogram "hopi_spill_merge_fanin"
+    ~help:"Number of runs (in-memory + spilled) merged per sorter"
+
+let m_merge_passes =
+  Registry.counter "hopi_spill_merge_passes_total"
+    ~help:"Intermediate merge passes folding spilled runs below the fan-in cap"
+
+(* {1 Settings} *)
+
+type settings = { vfs : Vfs.t; dir : string; budget_bytes : int }
+
+let settings ?(vfs = Vfs.real) ?dir ?(budget_bytes = max_int) () =
+  let dir = match dir with Some d -> d | None -> Filename.get_temp_dir_name () in
+  { vfs; dir; budget_bytes = max 0 budget_bytes }
+
+let temp_prefix = "hopi-spill-"
+
+(* {1 Sorter} *)
+
+type spilled = { path : string; bytes : int }
+
+type sorter = {
+  s : settings;
+  tag : string;
+  mu : Mutex.t;
+  mutable seq : int;
+  mutable spills : spilled list;
+  mutable mem_runs : int array list;
+  mutable mem_bytes : int;  (* bytes retained in [mem_runs]; under [mu] *)
+  resident : int Atomic.t;  (* in-memory entry bytes across all live runs *)
+  peak : int Atomic.t;
+  n_entries : int Atomic.t;
+  n_runs : int Atomic.t;
+  n_spilled : int Atomic.t;
+  spilled_bytes : int Atomic.t;
+  mutable closed : bool;
+}
+
+let sorter s ~tag =
+  {
+    s;
+    tag;
+    mu = Mutex.create ();
+    seq = 0;
+    spills = [];
+    mem_runs = [];
+    mem_bytes = 0;
+    resident = Atomic.make 0;
+    peak = Atomic.make 0;
+    n_entries = Atomic.make 0;
+    n_runs = Atomic.make 0;
+    n_spilled = Atomic.make 0;
+    spilled_bytes = Atomic.make 0;
+    closed = false;
+  }
+
+let rec update_peak a v =
+  let cur = Atomic.get a in
+  if v > cur && not (Atomic.compare_and_set a cur v) then update_peak a v
+
+let note_resident t delta =
+  let now = Atomic.fetch_and_add t.resident delta + delta in
+  if delta > 0 then update_peak t.peak now;
+  now
+
+(* Sort the first [len] entries of [buf] ascending and return the
+   deduplicated prefix as a fresh array.  Radix-sorting pays off well
+   before the budget-check chunk size, so small runs are the only ones
+   that take the comparison path. *)
+let sort_dedup buf len =
+  let a = Array.sub buf 0 len in
+  if len < 256 then Array.sort (fun (x : int) y -> compare x y) a
+  else Hopi_util.Radix_sort.sort a;
+  let m = ref 0 in
+  for i = 0 to len - 1 do
+    if !m = 0 || a.(i) <> a.(!m - 1) then begin
+      a.(!m) <- a.(i);
+      incr m
+    end
+  done;
+  if !m = len then a else Array.sub a 0 !m
+
+(* {2 Spill file format: 8-byte little-endian entries, no header} *)
+
+let entry_bytes = 8
+
+let io_chunk = 8192  (* entries per serialized write (64 KiB) *)
+
+let write_run t a =
+  (* serialize + write under the sorter mutex: the VFS implementations are
+     not domain-safe, and spill throughput is disk-bound anyway *)
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) @@ fun () ->
+  let name = Printf.sprintf "%s%d-%s-%d.run" temp_prefix (Unix.getpid ()) t.tag t.seq in
+  t.seq <- t.seq + 1;
+  let path = Filename.concat t.s.dir name in
+  let file = t.s.vfs.Vfs.open_file path ~create:true in
+  Fun.protect ~finally:(fun () -> file.Vfs.close ()) @@ fun () ->
+  let n = Array.length a in
+  let buf = Bytes.create (min n io_chunk * entry_bytes) in
+  let off = ref 0 in
+  let i = ref 0 in
+  while !i < n do
+    let k = min io_chunk (n - !i) in
+    for j = 0 to k - 1 do
+      Bytes.set_int64_le buf (j * entry_bytes) (Int64.of_int a.(!i + j))
+    done;
+    file.Vfs.write buf ~off:!off ~pos:0 ~len:(k * entry_bytes);
+    off := !off + (k * entry_bytes);
+    i := !i + k
+  done;
+  let bytes = n * entry_bytes in
+  t.spills <- { path; bytes } :: t.spills;
+  Atomic.incr t.n_spilled;
+  ignore (Atomic.fetch_and_add t.spilled_bytes bytes);
+  Hopi_obs.Counter.incr m_runs;
+  Hopi_obs.Counter.add m_bytes bytes
+
+(* {2 Run builders} *)
+
+type run = {
+  owner : sorter;
+  mutable buf : int array;
+  mutable len : int;
+  mutable reported : int;  (* bytes of [buf] already counted in [resident] *)
+}
+
+let report_chunk = 512  (* entries between resident-budget checks *)
+
+let run t = { owner = t; buf = Array.make 1024 0; len = 0; reported = 0 }
+
+(* Sort, dedup and spill the run's buffer, releasing its resident bytes. *)
+let spill r =
+  (* entries leaving the buffer here never reach [finish]'s accounting *)
+  ignore (Atomic.fetch_and_add r.owner.n_entries r.len);
+  let a = sort_dedup r.buf r.len in
+  write_run r.owner a;
+  ignore (note_resident r.owner (-r.reported));
+  r.reported <- 0;
+  r.len <- 0;
+  if Array.length r.buf > 65536 then r.buf <- Array.make 1024 0
+
+let add r v =
+  if r.len = Array.length r.buf then begin
+    let nbuf = Array.make (2 * r.len) 0 in
+    Array.blit r.buf 0 nbuf 0 r.len;
+    r.buf <- nbuf
+  end;
+  r.buf.(r.len) <- v;
+  r.len <- r.len + 1;
+  let unreported = (r.len * entry_bytes) - r.reported in
+  if unreported >= report_chunk * entry_bytes then begin
+    let now = note_resident r.owner unreported in
+    r.reported <- r.reported + unreported;
+    if now > r.owner.s.budget_bytes && r.len > 0 then spill r
+  end
+
+let finish r =
+  let t = r.owner in
+  ignore (Atomic.fetch_and_add t.n_entries r.len);
+  if r.len > 0 then begin
+    Atomic.incr t.n_runs;
+    let a = sort_dedup r.buf r.len in
+    let bytes = Array.length a * entry_bytes in
+    let now = note_resident t (bytes - r.reported) in
+    r.reported <- bytes;
+    if now > t.s.budget_bytes then begin
+      write_run t a;
+      ignore (note_resident t (-bytes))
+    end
+    else begin
+      Mutex.lock t.mu;
+      t.mem_runs <- a :: t.mem_runs;
+      t.mem_bytes <- t.mem_bytes + bytes;
+      Mutex.unlock t.mu
+    end;
+    r.reported <- 0;
+    r.len <- 0;
+    r.buf <- [||]
+  end
+  else if r.reported > 0 then begin
+    ignore (note_resident t (-r.reported));
+    r.reported <- 0
+  end
+
+(* {2 Merge} *)
+
+type file_src = {
+  file : Vfs.file;
+  size : int;
+  mutable off : int;  (* file offset of the first unread byte *)
+  buf : Bytes.t;
+  mutable pos : int;  (* next entry offset within [buf] *)
+  mutable avail : int;  (* valid bytes in [buf] *)
+}
+
+type src = Mem of { arr : int array; mutable idx : int } | File of file_src
+
+let refill g =
+  let len = min (Bytes.length g.buf) (g.size - g.off) in
+  if len <= 0 then false
+  else begin
+    let n = Vfs.read_full g.file g.buf ~off:g.off ~pos:0 ~len in
+    if n < len then
+      Storage_error.raise_error
+        (Io (Printf.sprintf "short read from spill file (%d < %d)" n len));
+    g.off <- g.off + n;
+    g.pos <- 0;
+    g.avail <- n;
+    true
+  end
+
+(* current entry of source [s]; caller guarantees one is available *)
+let current = function
+  | Mem m -> m.arr.(m.idx)
+  | File g -> Int64.to_int (Bytes.get_int64_le g.buf g.pos)
+
+(* advance source [s]; returns false when exhausted *)
+let advance = function
+  | Mem m ->
+    m.idx <- m.idx + 1;
+    m.idx < Array.length m.arr
+  | File g ->
+    g.pos <- g.pos + entry_bytes;
+    g.pos < g.avail || refill g
+
+(* Fast path when nothing spilled: concatenate the (already sorted and
+   per-run deduplicated) resident runs, radix-sort once, dedup on the fly.
+   Linear passes beat the heap's per-entry sift for in-memory data; the
+   output is the same canonical stream the heap would produce. *)
+let merged_resident mem f =
+  let total = List.fold_left (fun acc a -> acc + Array.length a) 0 mem in
+  let all = Array.make total 0 in
+  let off = ref 0 in
+  List.iter
+    (fun a ->
+      Array.blit a 0 all !off (Array.length a);
+      off := !off + Array.length a)
+    mem;
+  Hopi_util.Radix_sort.sort all;
+  let last = ref min_int in
+  for i = 0 to total - 1 do
+    let v = all.(i) in
+    if v <> !last then begin
+      f v;
+      last := v
+    end
+  done
+
+let open_spill t sp =
+  let file = t.s.vfs.Vfs.open_file sp.path ~create:false in
+  let buf = Bytes.create (io_chunk * entry_bytes) in
+  { file; size = sp.bytes; off = 0; buf; pos = 0; avail = 0 }
+
+(* Deduplicating k-way merge of [srcs]; calls [f] on every distinct entry
+   ascending. *)
+let heap_merge srcs f =
+  let n = Array.length srcs in
+  if n > 0 then begin
+    (* binary min-heap of source indexes keyed by their current entry *)
+    let heap = Array.init n Fun.id in
+    let size = ref n in
+    let key i = current srcs.(heap.(i)) in
+    let swap i j =
+      let x = heap.(i) in
+      heap.(i) <- heap.(j);
+      heap.(j) <- x
+    in
+    let rec sift_down i =
+      let l = (2 * i) + 1 and r = (2 * i) + 2 in
+      let m = if l < !size && key l < key i then l else i in
+      let m = if r < !size && key r < key m then r else m in
+      if m <> i then begin
+        swap i m;
+        sift_down m
+      end
+    in
+    for i = (n / 2) - 1 downto 0 do
+      sift_down i
+    done;
+    let last = ref min_int in
+    while !size > 0 do
+      let s = srcs.(heap.(0)) in
+      let v = current s in
+      if v <> !last then begin
+        f v;
+        last := v
+      end;
+      if advance s then sift_down 0
+      else begin
+        heap.(0) <- heap.(!size - 1);
+        decr size;
+        sift_down 0
+      end
+    done
+  end
+
+(* How many spilled runs one merge reads concurrently.  A tiny budget can
+   produce tens of thousands of runs — far past any fd limit if the merge
+   opened them all at once — so the final merge is preceded by
+   intermediate passes that each fold [max_fanin] runs into one. *)
+let max_fanin = 64
+
+(* One intermediate pass: merge [batch] into a single new temp file,
+   remove the inputs, and return the combined run's record. *)
+let merge_pass t batch =
+  let files = List.map (open_spill t) batch in
+  Fun.protect ~finally:(fun () -> List.iter (fun g -> g.file.Vfs.close ()) files)
+  @@ fun () ->
+  let srcs =
+    Array.of_list
+      (List.filter_map
+         (fun g -> if g.size > 0 && refill g then Some (File g) else None)
+         files)
+  in
+  Mutex.lock t.mu;
+  let name =
+    Printf.sprintf "%s%d-%s-%d.run" temp_prefix (Unix.getpid ()) t.tag t.seq
+  in
+  t.seq <- t.seq + 1;
+  let path = Filename.concat t.s.dir name in
+  Mutex.unlock t.mu;
+  let out = t.s.vfs.Vfs.open_file path ~create:true in
+  Fun.protect ~finally:(fun () -> out.Vfs.close ()) @@ fun () ->
+  let buf = Bytes.create (io_chunk * entry_bytes) in
+  let off = ref 0 and n = ref 0 in
+  let flush () =
+    if !n > 0 then begin
+      out.Vfs.write buf ~off:!off ~pos:0 ~len:(!n * entry_bytes);
+      off := !off + (!n * entry_bytes);
+      n := 0
+    end
+  in
+  heap_merge srcs (fun v ->
+      if !n = io_chunk then flush ();
+      Bytes.set_int64_le buf (!n * entry_bytes) (Int64.of_int v);
+      incr n);
+  flush ();
+  Hopi_obs.Counter.incr m_merge_passes;
+  let combined = { path; bytes = !off } in
+  (* the combined run replaces its inputs everywhere — including in
+     [t.spills], so an abandoning [close] still removes the right files *)
+  Mutex.lock t.mu;
+  t.spills <- combined :: List.filter (fun sp -> not (List.memq sp batch)) t.spills;
+  Mutex.unlock t.mu;
+  List.iter
+    (fun sp ->
+      try t.s.vfs.Vfs.remove sp.path with Storage_error.Storage_error _ -> ())
+    batch;
+  combined
+
+let rec take_at_most n = function
+  | [] -> ([], [])
+  | l when n = 0 -> ([], l)
+  | x :: tl ->
+    let a, b = take_at_most (n - 1) tl in
+    (x :: a, b)
+
+let merged_spilled t f mem spills =
+  (* fold runs until one merge can read everything within the fan-in cap *)
+  let spills = ref spills in
+  while List.length !spills > max_fanin do
+    let batch, rest = take_at_most max_fanin !spills in
+    spills := rest @ [ merge_pass t batch ]
+  done;
+  let files = List.map (open_spill t) !spills in
+  Fun.protect ~finally:(fun () -> List.iter (fun g -> g.file.Vfs.close ()) files)
+  @@ fun () ->
+  let srcs =
+    List.filter_map
+      (fun a -> if Array.length a = 0 then None else Some (Mem { arr = a; idx = 0 }))
+      mem
+    @ List.filter_map
+        (fun g -> if g.size > 0 && refill g then Some (File g) else None)
+        files
+    |> Array.of_list
+  in
+  Histogram.observe h_fanin (Array.length srcs);
+  heap_merge srcs f
+
+let merged t f =
+  Mutex.lock t.mu;
+  let mem = t.mem_runs and spills = List.rev t.spills in
+  Mutex.unlock t.mu;
+  if spills = [] then begin
+    let runs = List.filter (fun a -> Array.length a > 0) mem in
+    Histogram.observe h_fanin (List.length runs);
+    if runs <> [] then merged_resident runs f
+  end
+  else merged_spilled t f mem spills
+
+(* {2 Lifecycle and stats} *)
+
+let close t =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) @@ fun () ->
+  if not t.closed then begin
+    t.closed <- true;
+    List.iter
+      (fun sp ->
+        try t.s.vfs.Vfs.remove sp.path
+        with Storage_error.Storage_error _ -> ())
+      t.spills;
+    t.spills <- [];
+    t.mem_runs <- [];
+    ignore (note_resident t (-t.mem_bytes));
+    t.mem_bytes <- 0
+  end
+
+type stats = {
+  runs : int;
+  spilled_runs : int;
+  spilled_bytes : int;
+  entries : int;
+  peak_resident_bytes : int;
+}
+
+let stats t =
+  {
+    runs = Atomic.get t.n_runs;
+    spilled_runs = Atomic.get t.n_spilled;
+    spilled_bytes = Atomic.get t.spilled_bytes;
+    entries = Atomic.get t.n_entries;
+    peak_resident_bytes = Atomic.get t.peak;
+  }
+
+(* {1 Orphan cleanup} *)
+
+let is_temp name =
+  String.length name >= String.length temp_prefix
+  && String.sub name 0 (String.length temp_prefix) = temp_prefix
+
+let cleanup_dir ?(vfs = Vfs.real) dir =
+  List.fold_left
+    (fun n name ->
+      if is_temp name then begin
+        (try vfs.Vfs.remove (Filename.concat dir name)
+         with Storage_error.Storage_error _ -> ());
+        n + 1
+      end
+      else n)
+    0 (vfs.Vfs.list_dir dir)

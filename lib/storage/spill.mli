@@ -1,0 +1,84 @@
+(** External-memory sorting of integer entries: sorted runs with a shared
+    memory budget, spill to VFS temp files, k-way deduplicating merge.
+
+    The build pipeline's join stage (see [Join_psg]) packs each LIN/LOUT
+    entry into one non-negative OCaml [int] and feeds the packed entries
+    through a sorter: pool workers append into per-task {!type-run}
+    builders; whenever the resident bytes across all live runs exceed the
+    sorter's budget, the offending run is sorted, deduplicated and spilled
+    to a [hopi-spill-*] temp file through the configured {!Vfs}.  {!merged}
+    then streams the globally sorted, deduplicated union of all finished
+    runs — the canonical order that makes stores byte-identical regardless
+    of job count, budget, or where run boundaries fell.
+
+    Entries must be non-negative (they are serialized as 8-byte
+    little-endian words and [min_int] is used as a merge sentinel).
+    Run builders are single-owner; one sorter may be fed from many domains
+    concurrently.  Spill I/O is serialized on an internal mutex. *)
+
+(** {1 Settings} *)
+
+type settings = {
+  vfs : Vfs.t;  (** File system spill files are written through. *)
+  dir : string;  (** Directory for spill temp files. *)
+  budget_bytes : int;
+      (** Resident-entry budget shared by all runs of a sorter; a run that
+          pushes the total past this spills immediately.  [max_int] never
+          spills. *)
+}
+
+val settings : ?vfs:Vfs.t -> ?dir:string -> ?budget_bytes:int -> unit -> settings
+(** Defaults: {!Vfs.real}, [Filename.get_temp_dir_name ()], no budget. *)
+
+val temp_prefix : string
+(** ["hopi-spill-"] — the name prefix of every spill temp file. *)
+
+(** {1 Sorting} *)
+
+type sorter
+
+val sorter : settings -> tag:string -> sorter
+(** A fresh sorter.  [tag] distinguishes this sorter's temp files (e.g.
+    ["lout"] vs ["lin"]). *)
+
+type run
+(** A per-task run builder.  Not domain-safe: each pool task builds its
+    own. *)
+
+val run : sorter -> run
+
+val add : run -> int -> unit
+(** Append one entry (need not be sorted or unique).  Checks the shared
+    budget every few hundred entries and spills this run when over. *)
+
+val finish : run -> unit
+(** Sort and deduplicate the run, then either retain it in memory or — if
+    the sorter is over budget — spill it.  The builder must not be used
+    afterwards. *)
+
+val merged : sorter -> (int -> unit) -> unit
+(** [merged t f] calls [f] on every distinct entry across all finished
+    runs, in ascending order.  Call at most once, after all runs have
+    finished; spilled runs are streamed back through buffered reads. *)
+
+(** {1 Lifecycle} *)
+
+val close : sorter -> unit
+(** Remove this sorter's temp files and drop retained runs.  Idempotent;
+    call from a [Fun.protect] finalizer so a failed build leaves no
+    temps behind. *)
+
+type stats = {
+  runs : int;  (** Finished non-empty runs. *)
+  spilled_runs : int;
+  spilled_bytes : int;
+  entries : int;  (** Entries added, before deduplication. *)
+  peak_resident_bytes : int;  (** High-water mark of in-memory entry bytes. *)
+}
+
+val stats : sorter -> stats
+
+val cleanup_dir : ?vfs:Vfs.t -> string -> int
+(** Remove every [hopi-spill-*] file in a directory and return how many
+    were found.  Recovery/housekeeping for temps orphaned by a crash —
+    only safe when no build is writing spills there. *)

@@ -11,6 +11,7 @@ type t = {
   open_file : string -> create:bool -> file;
   exists : string -> bool;
   remove : string -> unit;
+  list_dir : string -> string list;
 }
 
 let read_full f buf ~off ~pos ~len =
@@ -75,6 +76,11 @@ let real =
         | Unix.Unix_error (Unix.ENOENT, _, _) ->
           Storage_error.raise_error (File_not_found path)
         | Unix.Unix_error (e, _, _) -> io "unlink %s: %s" path (Unix.error_message e));
+    list_dir =
+      (fun dir ->
+        match Sys.readdir dir with
+        | entries -> List.sort compare (Array.to_list entries)
+        | exception Sys_error _ -> []);
   }
 
 (* {1 In-memory file system} *)
@@ -138,4 +144,12 @@ let memory () =
         if not (Hashtbl.mem files path) then
           Storage_error.raise_error (File_not_found path);
         Hashtbl.remove files path);
+    list_dir =
+      (fun dir ->
+        Hashtbl.fold
+          (fun path _ acc ->
+            if Filename.dirname path = dir then Filename.basename path :: acc
+            else acc)
+          files []
+        |> List.sort compare);
   }

@@ -31,6 +31,11 @@ type t = {
           [File_not_found] when the path does not exist. *)
   exists : string -> bool;
   remove : string -> unit;
+  list_dir : string -> string list;
+      (** Names (without the directory prefix) of the files in a
+          directory, sorted; an unreadable or missing directory lists as
+          empty.  Used by {!Spill.cleanup_dir} to find orphaned temp
+          files after a crash. *)
 }
 
 val real : t

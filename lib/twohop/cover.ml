@@ -69,6 +69,71 @@ let add_out t ~node ~center =
     end
   end
 
+(* {1 Packed batch additions}
+
+   The build pipeline's bulk path: entries arrive as one sorted array of
+   packed (node, center) pairs, so both directions of the index update in
+   grouped passes — one bucket lookup per node group instead of five hash
+   probes per entry.  The backward index is maintained internally: only
+   the entries that were actually new are repacked (center, node), sorted,
+   and applied in a second grouped pass. *)
+
+let pack_bits = 31
+
+let pack_mask = (1 lsl pack_bits) - 1
+
+let pack_entry ~node ~center =
+  if node < 0 || node > pack_mask || center < 0 || center > pack_mask then
+    invalid_arg (Printf.sprintf "Cover.pack_entry: (%d, %d) out of range" node center);
+  (node lsl pack_bits) lor center
+
+let add_packed t fwd inv entries =
+  let n = Array.length entries in
+  (* entries actually added, repacked (center, node) for the inverse pass *)
+  let kept = Array.make n 0 in
+  let k = ref 0 in
+  let i = ref 0 in
+  while !i < n do
+    let node = entries.(!i) lsr pack_bits in
+    let j = ref !i in
+    while !j < n && entries.(!j) lsr pack_bits = node do
+      incr j
+    done;
+    add_node t node;
+    let s = bucket fwd node in
+    let before = !k in
+    for e = !i to !j - 1 do
+      let center = entries.(e) land pack_mask in
+      if center <> node && not (Ihs.mem s center) then begin
+        Ihs.add s center;
+        kept.(!k) <- (center lsl pack_bits) lor node;
+        incr k
+      end
+    done;
+    if !k > before then notify t node;
+    i := !j
+  done;
+  let added = !k in
+  Hopi_util.Radix_sort.sort_prefix kept added;
+  let kept = if added = n then kept else Array.sub kept 0 added in
+  let i = ref 0 in
+  while !i < added do
+    let center = kept.(!i) lsr pack_bits in
+    let s = bucket inv center in
+    let j = ref !i in
+    while !j < added && kept.(!j) lsr pack_bits = center do
+      Ihs.add s (kept.(!j) land pack_mask);
+      incr j
+    done;
+    i := !j
+  done;
+  t.size <- t.size + added;
+  added
+
+let add_in_packed t entries = add_packed t t.lin t.lin_inv entries
+
+let add_out_packed t entries = add_packed t t.lout t.lout_inv entries
+
 let get h v =
   match Hashtbl.find_opt h v with
   | Some s -> s

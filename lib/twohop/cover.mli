@@ -26,6 +26,28 @@ val add_in : t -> node:int -> center:int -> unit
 
 val add_out : t -> node:int -> center:int -> unit
 
+(** {2 Packed batch additions}
+
+    The build pipeline's bulk path (see [Join_psg]): entries packed with
+    {!pack_entry} arrive as one array sorted ascending, so both label
+    directions update in grouped passes — one bucket lookup per node group
+    instead of several hash probes per entry.  Semantically each entry is
+    exactly an {!add_in}/{!add_out} (self-entries and duplicates are
+    skipped, the backward index stays consistent, the change hook fires
+    once per node whose set changed). *)
+
+val pack_entry : node:int -> center:int -> int
+(** [(node lsl 31) lor center].  Both components must be in [0, 2^31) —
+    the id range the storage layer accepts anyway.
+    @raise Invalid_argument otherwise. *)
+
+val add_in_packed : t -> int array -> int
+(** [add_in_packed t entries] adds every packed entry to the cover's [Lin]
+    tables; [entries] must be sorted ascending.  Returns the number of
+    entries that were new. *)
+
+val add_out_packed : t -> int array -> int
+
 val lin : t -> int -> Hopi_util.Int_set.t
 (** Snapshot of [Lin(node)] (without the implicit self-entry). *)
 

@@ -1,0 +1,53 @@
+(* LSD radix sort over non-negative ints, 16-bit digits.  The build
+   pipeline sorts tens of millions of packed (node, center) entries per
+   run; a comparison sort pays ~[log n] indirect compare calls per entry
+   where counting passes pay a handful of array reads and writes.  The
+   number of passes adapts to the largest value actually present, so
+   small-id workloads (the common case: both packed halves are far below
+   2^31) sort in two or three passes. *)
+
+let digit_bits = 16
+
+let n_buckets = 1 lsl digit_bits
+
+let digit_mask = n_buckets - 1
+
+let sort_prefix a len =
+  if len > 1 then begin
+    let max_v = ref 0 in
+    for i = 0 to len - 1 do
+      if a.(i) < 0 then invalid_arg "Radix_sort.sort: negative entry";
+      if a.(i) > !max_v then max_v := a.(i)
+    done;
+    let scratch = Array.make len 0 in
+    let count = Array.make n_buckets 0 in
+    let src = ref a and dst = ref scratch in
+    let shift = ref 0 in
+    while !max_v lsr !shift > 0 do
+      Array.fill count 0 n_buckets 0;
+      let s = !src and d = !dst and sh = !shift in
+      for i = 0 to len - 1 do
+        let dg = (s.(i) lsr sh) land digit_mask in
+        count.(dg) <- count.(dg) + 1
+      done;
+      let acc = ref 0 in
+      for dg = 0 to n_buckets - 1 do
+        let c = count.(dg) in
+        count.(dg) <- !acc;
+        acc := !acc + c
+      done;
+      for i = 0 to len - 1 do
+        let v = s.(i) in
+        let dg = (v lsr sh) land digit_mask in
+        d.(count.(dg)) <- v;
+        count.(dg) <- count.(dg) + 1
+      done;
+      src := d;
+      dst := s;
+      shift := sh + digit_bits
+    done;
+    (* an odd number of passes leaves the sorted data in [scratch] *)
+    if !src != a then Array.blit !src 0 a 0 len
+  end
+
+let sort a = sort_prefix a (Array.length a)

@@ -1,0 +1,19 @@
+(** LSD radix sort for non-negative integers.
+
+    The build pipeline's external sorter ([Hopi_storage.Spill]) and the
+    cover's grouped batch inserts sort millions of packed entries; counting
+    passes over 16-bit digits beat a comparison sort by the [log n]
+    indirect-compare factor.  The pass count adapts to the largest value
+    present, so arrays of small packed ids sort in two or three linear
+    passes. *)
+
+val sort : int array -> unit
+(** Sort the array ascending, in place.  O(n) scratch.
+
+    @raise Invalid_argument on a negative entry. *)
+
+val sort_prefix : int array -> int -> unit
+(** [sort_prefix a len] sorts [a.(0..len-1)] ascending in place, ignoring
+    the tail.
+
+    @raise Invalid_argument on a negative entry in the prefix. *)

@@ -193,7 +193,14 @@ let vfs t =
     if not (Hashtbl.mem t.files path) then E.raise_error (File_not_found path);
     Hashtbl.remove t.files path
   in
-  { Vfs.open_file; exists; remove }
+  let list_dir dir =
+    Hashtbl.fold
+      (fun path _ acc ->
+        if Filename.dirname path = dir then Filename.basename path :: acc else acc)
+      t.files []
+    |> List.sort compare
+  in
+  { Vfs.open_file; exists; remove; list_dir }
 
 (* {1 Snapshots and corruption} *)
 

@@ -144,6 +144,34 @@ let prop_jobs_determinism =
           (Build.compression r1) (Build.compression r4);
       canonical r1.Build.cover = canonical r4.Build.cover)
 
+let prop_budget_determinism =
+  (* the external-sort pipeline's canonical merged stream makes the cover
+     independent of the spill budget: a zero budget (every run spills to
+     temp files) must reproduce the unconstrained build exactly, and a
+     PSG join that added entries under budget 0 must actually have spilled *)
+  QCheck2.Test.make
+    ~name:"zero spill budget reproduces the unconstrained cover" ~count:8
+    Gen.(pair gen_collection_cfg gen_build_config)
+    (fun (gen_cfg, config) ->
+      let c = Dblp.generate gen_cfg in
+      let free = Build.build config c in
+      let tight = Build.build { config with Config.build_mem_mb = Some 0 } c in
+      if free.Build.spilled_runs <> 0 then
+        QCheck2.Test.fail_reportf "unconstrained build spilled %d runs"
+          free.Build.spilled_runs;
+      (match config.Config.joiner with
+      | Config.Incremental -> ()
+      | Config.Psg | Config.Psg_partitioned _ ->
+        if tight.Build.join_entries > 0 && tight.Build.spilled_runs = 0 then
+          QCheck2.Test.fail_reportf
+            "budget 0 added %d join entries without spilling"
+            tight.Build.join_entries);
+      if Cover.size free.Build.cover <> Cover.size tight.Build.cover then
+        QCheck2.Test.fail_reportf "cover sizes differ: %d vs %d"
+          (Cover.size free.Build.cover)
+          (Cover.size tight.Build.cover);
+      canonical free.Build.cover = canonical tight.Build.cover)
+
 let prop_fixed_seed_reproducible =
   QCheck2.Test.make ~name:"same config + seed => reproducible parallel build"
     ~count:8 gen_collection_cfg (fun gen_cfg ->
@@ -251,6 +279,7 @@ let suite =
         [
           prop_build_exact_on_collections;
           prop_jobs_determinism;
+          prop_budget_determinism;
           prop_fixed_seed_reproducible;
         ] );
     ( "props.maintenance",

@@ -597,6 +597,268 @@ let prop_store_anc_desc_match_cover =
       done;
       !ok)
 
+(* {1 Btree bulk load} *)
+
+let stream_of_list l =
+  let rest = ref l in
+  fun () ->
+    match !rest with
+    | [] -> None
+    | k :: tl ->
+      rest := tl;
+      Some k
+
+let scan_all t =
+  let acc = ref [] in
+  Btree.iter_all t (fun k -> acc := k :: !acc);
+  List.rev !acc
+
+let test_btree_bulk_empty_and_invalid () =
+  (* empty stream: a usable empty tree, same as [create] *)
+  let t = Btree.bulk_load (Pager.create Pager.Memory) ~next:(stream_of_list []) in
+  check_int "empty length" 0 (Btree.length t);
+  check_bool "nothing present" false (Btree.mem t (0, 0, 0));
+  check_bool "still insertable" true (Btree.insert t (1, 2, 3));
+  check_bool "insert landed" true (Btree.mem t (1, 2, 3));
+  (* streams that violate the strictly-ascending contract are rejected *)
+  let rejects keys =
+    match Btree.bulk_load (Pager.create Pager.Memory) ~next:(stream_of_list keys) with
+    | _ -> false
+    | exception Invalid_argument _ -> true
+  in
+  check_bool "descending rejected" true (rejects [ (2, 0, 0); (1, 0, 0) ]);
+  check_bool "duplicate rejected" true (rejects [ (1, 0, 0); (1, 0, 0) ]);
+  check_bool "out-of-range rejected" true (rejects [ (0, Btree.max_i32 + 1, 0) ])
+
+let prop_btree_bulk_matches_inserts =
+  (* differential: bulk_load over a sorted stream must be indistinguishable
+     from insert-at-a-time — full scan, length, and point lookups (present
+     and absent keys alike) *)
+  QCheck2.Test.make ~name:"Btree.bulk_load = insert-at-a-time" ~count:40
+    QCheck2.Gen.(pair (int_range 0 1_000_000) (int_range 0 900))
+    (fun (seed, n) ->
+      let rng = Splitmix.create seed in
+      let module Ks = Set.Make (struct
+        type t = int * int * int
+
+        let compare = compare
+      end) in
+      let keys = ref Ks.empty in
+      for _ = 1 to n do
+        keys :=
+          Ks.add (Splitmix.int rng 60, Splitmix.int rng 60, Splitmix.int rng 4) !keys
+      done;
+      let sorted = Ks.elements !keys in
+      let reference = Btree.create (Pager.create ~pool_pages:16 Pager.Memory) in
+      List.iter (fun k -> ignore (Btree.insert reference k)) sorted;
+      let bulk =
+        Btree.bulk_load (Pager.create ~pool_pages:16 Pager.Memory)
+          ~next:(stream_of_list sorted)
+      in
+      if Btree.length bulk <> Btree.length reference then
+        QCheck2.Test.fail_reportf "length %d <> %d" (Btree.length bulk)
+          (Btree.length reference);
+      if scan_all bulk <> sorted then QCheck2.Test.fail_report "full scan differs";
+      let ok = ref true in
+      for _ = 1 to 300 do
+        let k = (Splitmix.int rng 60, Splitmix.int rng 60, Splitmix.int rng 4) in
+        if Btree.mem bulk k <> Btree.mem reference k then ok := false
+      done;
+      !ok)
+
+(* {1 Cover_store bulk load} *)
+
+let random_graph ~seed ~n ~edges =
+  let rng = Splitmix.create seed in
+  let g = Hopi_graph.Digraph.create () in
+  for v = 0 to n - 1 do
+    Hopi_graph.Digraph.add_node g v
+  done;
+  for _ = 1 to edges do
+    let u = Splitmix.int rng n and v = Splitmix.int rng n in
+    if u <> v then Hopi_graph.Digraph.add_edge g u v
+  done;
+  g
+
+let prop_bulk_store_matches_rowwise =
+  (* the differential promised by cover_store.mli: a bulk-loaded store must
+     answer exactly like a row-at-a-time store, including after a
+     save/reopen cycle *)
+  QCheck2.Test.make ~name:"bulk store = row-at-a-time store" ~count:20
+    QCheck2.Gen.(pair (int_range 0 1_000_000) (int_range 2 16))
+    (fun (seed, n) ->
+      let g = random_graph ~seed ~n ~edges:(2 * n) in
+      let cover, _ = Hopi_twohop.Builder.build (Hopi_graph.Closure.compute g) in
+      let rowwise = Cover_store.create (Pager.create ~pool_pages:16 Pager.Memory) in
+      Cover_store.load_cover rowwise cover;
+      let vfs = Vfs.memory () in
+      let pager = Pager.create_vfs ~pool_pages:16 ~vfs "bulk.db" in
+      let bulk = Cover_store.create pager in
+      Cover_store.bulk_load_cover bulk cover;
+      Cover_store.save bulk;
+      Pager.close pager;
+      let bulk = Cover_store.open_pager (Pager.open_vfs ~pool_pages:16 ~vfs "bulk.db") in
+      if Cover_store.n_entries bulk <> Cover_store.n_entries rowwise then
+        QCheck2.Test.fail_reportf "entries %d <> %d" (Cover_store.n_entries bulk)
+          (Cover_store.n_entries rowwise);
+      if Cover_store.n_nodes bulk <> Cover_store.n_nodes rowwise then
+        QCheck2.Test.fail_report "node counts differ";
+      let same a b = Hopi_util.Int_set.equal (Ihs.to_int_set a) (Ihs.to_int_set b) in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        if not (same (Cover_store.descendants bulk u) (Cover_store.descendants rowwise u))
+        then ok := false;
+        if not (same (Cover_store.ancestors bulk u) (Cover_store.ancestors rowwise u))
+        then ok := false;
+        for v = 0 to n - 1 do
+          if Cover_store.connected bulk u v <> Cover_store.connected rowwise u v then
+            ok := false
+        done
+      done;
+      !ok)
+
+let prop_bulk_dist_store_matches_rowwise =
+  QCheck2.Test.make ~name:"bulk distance store = row-at-a-time store" ~count:15
+    QCheck2.Gen.(pair (int_range 0 1_000_000) (int_range 2 14))
+    (fun (seed, n) ->
+      let g = random_graph ~seed ~n ~edges:(2 * n) in
+      let dc, _ = Hopi_twohop.Dist_builder.build g in
+      let rowwise = Cover_store.create (Pager.create ~pool_pages:16 Pager.Memory) in
+      Cover_store.load_dist_cover rowwise dc;
+      let bulk = Cover_store.create (Pager.create ~pool_pages:16 Pager.Memory) in
+      Cover_store.bulk_load_dist_cover bulk dc;
+      if Cover_store.stored_integers bulk <> Cover_store.stored_integers rowwise then
+        QCheck2.Test.fail_report "stored integers differ";
+      if Cover_store.with_dist bulk <> Cover_store.with_dist rowwise then
+        QCheck2.Test.fail_report "dist flags differ";
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          if Cover_store.min_distance bulk u v <> Cover_store.min_distance rowwise u v
+          then ok := false
+        done
+      done;
+      !ok)
+
+let test_bulk_store_requires_fresh () =
+  let cover = Cover.create () in
+  Cover.add_node cover 1;
+  let store = Cover_store.create (Pager.create Pager.Memory) in
+  Cover_store.add_node store 5;
+  check_bool "non-fresh store rejected" true
+    (match Cover_store.bulk_load_cover store cover with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+(* {1 Spill} *)
+
+let spill_dir = "/spill"
+
+let spill_temps vfs =
+  List.filter
+    (fun f -> String.starts_with ~prefix:Spill.temp_prefix f)
+    (vfs.Vfs.list_dir spill_dir)
+
+let prop_spill_merge_oracle =
+  (* random entries scattered over random concurrent-style runs under a
+     range of budgets (0 = spill everything) must merge back to exactly the
+     sorted deduplicated entry set, and close must leave no temp files *)
+  QCheck2.Test.make ~name:"Spill merge = sort_uniq oracle" ~count:60
+    QCheck2.Gen.(triple (int_range 0 1_000_000) (int_range 0 2_000) (int_range 0 3))
+    (fun (seed, n, budget_sel) ->
+      let rng = Splitmix.create seed in
+      let vfs = Vfs.memory () in
+      let budget_bytes =
+        match budget_sel with 0 -> 0 | 1 -> 64 | 2 -> 4096 | _ -> max_int
+      in
+      let sp = Spill.settings ~vfs ~dir:spill_dir ~budget_bytes () in
+      let s = Spill.sorter sp ~tag:"prop" in
+      let n_runs = 1 + Splitmix.int rng 4 in
+      let runs = Array.init n_runs (fun _ -> Spill.run s) in
+      let all = ref [] in
+      for _ = 1 to n do
+        let e = Splitmix.int rng 300 in
+        all := e :: !all;
+        Spill.add runs.(Splitmix.int rng n_runs) e
+      done;
+      Array.iter Spill.finish runs;
+      let got = ref [] in
+      Spill.merged s (fun e -> got := e :: !got);
+      let got = List.rev !got in
+      let st = Spill.stats s in
+      Spill.close s;
+      if got <> List.sort_uniq compare !all then
+        QCheck2.Test.fail_report "merged stream <> sorted dedup oracle";
+      if st.Spill.entries <> n then
+        QCheck2.Test.fail_reportf "entries stat %d <> %d" st.Spill.entries n;
+      if budget_bytes = 0 && n > 0 && st.Spill.spilled_runs = 0 then
+        QCheck2.Test.fail_report "zero budget with entries did not spill";
+      if budget_bytes = max_int && st.Spill.spilled_runs <> 0 then
+        QCheck2.Test.fail_report "unlimited budget spilled";
+      if st.Spill.spilled_runs > 0 && st.Spill.spilled_bytes = 0 then
+        QCheck2.Test.fail_report "spilled runs but no spilled bytes";
+      if spill_temps vfs <> [] then QCheck2.Test.fail_report "close left temp files";
+      true)
+
+let test_spill_bounded_fanin () =
+  (* a zero budget over a large feed produces far more spilled runs than
+     the merge's fan-in cap; intermediate merge passes must fold them
+     without ever opening them all (and without changing the stream) *)
+  let vfs = Vfs.memory () in
+  let sp = Spill.settings ~vfs ~dir:spill_dir ~budget_bytes:0 () in
+  let s = Spill.sorter sp ~tag:"fanin" in
+  let rng = Splitmix.create 11 in
+  let r = Spill.run s in
+  let n = 60_000 in
+  let all = Array.init n (fun _ -> Splitmix.int rng 1_000_000) in
+  Array.iter (Spill.add r) all;
+  Spill.finish r;
+  check_bool "spilled far past the fan-in cap" true
+    ((Spill.stats s).Spill.spilled_runs > 100);
+  let got = ref [] in
+  Spill.merged s (fun e -> got := e :: !got);
+  let expect = List.sort_uniq compare (Array.to_list all) in
+  Alcotest.(check (list int)) "stream survives merge passes" expect (List.rev !got);
+  Spill.close s;
+  check_int "temps removed (incl. merge-pass outputs)" 0
+    (List.length (spill_temps vfs))
+
+let test_spill_close_idempotent () =
+  let vfs = Vfs.memory () in
+  let sp = Spill.settings ~vfs ~dir:spill_dir ~budget_bytes:0 () in
+  let s = Spill.sorter sp ~tag:"close" in
+  let r = Spill.run s in
+  for i = 0 to 999 do
+    Spill.add r (i mod 37)
+  done;
+  Spill.finish r;
+  check_bool "spilled to temp files" true (spill_temps vfs <> []);
+  Spill.close s;
+  check_int "temps removed" 0 (List.length (spill_temps vfs));
+  Spill.close s (* second close is a no-op *)
+
+let test_spill_cleanup_dir () =
+  (* a sorter abandoned without close (a crashed build) leaves temps behind;
+     cleanup_dir finds and removes exactly the hopi-spill-* files *)
+  let vfs = Vfs.memory () in
+  let sp = Spill.settings ~vfs ~dir:spill_dir ~budget_bytes:0 () in
+  let s = Spill.sorter sp ~tag:"orphan" in
+  let r = Spill.run s in
+  for i = 0 to 1999 do
+    Spill.add r i
+  done;
+  Spill.finish r;
+  let orphans = List.length (spill_temps vfs) in
+  check_bool "orphaned temps exist" true (orphans > 0);
+  (* an unrelated file in the same directory must survive *)
+  let f = vfs.Vfs.open_file (Filename.concat spill_dir "keep.db") ~create:true in
+  f.Vfs.close ();
+  check_int "cleanup count" orphans (Spill.cleanup_dir ~vfs spill_dir);
+  check_int "temps gone" 0 (List.length (spill_temps vfs));
+  check_bool "unrelated file kept" true
+    (vfs.Vfs.exists (Filename.concat spill_dir "keep.db"));
+  check_int "second cleanup finds nothing" 0 (Spill.cleanup_dir ~vfs spill_dir)
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let suite =
@@ -621,8 +883,10 @@ let suite =
         Alcotest.test_case "prefix scans" `Quick test_btree_prefix_scans;
         Alcotest.test_case "delete rebalancing" `Quick test_btree_delete_rebalancing;
         Alcotest.test_case "delete to empty + reuse" `Quick test_btree_delete_to_empty_and_reuse;
+        Alcotest.test_case "bulk load: empty/invalid streams" `Quick
+          test_btree_bulk_empty_and_invalid;
       ]
-      @ qsuite [ prop_btree_model ] );
+      @ qsuite [ prop_btree_model; prop_btree_bulk_matches_inserts ] );
     ( "storage.table",
       [
         Alcotest.test_case "indexes" `Quick test_table_indexes;
@@ -642,8 +906,25 @@ let suite =
         Alcotest.test_case "bad version" `Quick test_catalog_bad_version;
         Alcotest.test_case "truncated store" `Quick test_catalog_truncated;
         Alcotest.test_case "wrong store kind" `Quick test_catalog_wrong_kind;
+        Alcotest.test_case "bulk load requires a fresh store" `Quick
+          test_bulk_store_requires_fresh;
       ] );
     ("storage.closure_store", [ Alcotest.test_case "basic" `Quick test_closure_store ]);
     ( "storage.cover_store_props",
-      qsuite [ prop_dist_store_matches_dist_cover; prop_store_anc_desc_match_cover ] );
+      qsuite
+        [
+          prop_dist_store_matches_dist_cover;
+          prop_store_anc_desc_match_cover;
+          prop_bulk_store_matches_rowwise;
+          prop_bulk_dist_store_matches_rowwise;
+        ] );
+    ( "storage.spill",
+      [
+        Alcotest.test_case "bounded merge fan-in" `Quick test_spill_bounded_fanin;
+        Alcotest.test_case "close removes temps, idempotent" `Quick
+          test_spill_close_idempotent;
+        Alcotest.test_case "cleanup_dir removes orphans only" `Quick
+          test_spill_cleanup_dir;
+      ]
+      @ qsuite [ prop_spill_merge_oracle ] );
   ]
